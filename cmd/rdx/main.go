@@ -1,0 +1,166 @@
+// Command rdx profiles one suite workload with RDX and (optionally) the
+// exhaustive ground-truth tool, printing reuse histograms, overheads and
+// accuracy.
+//
+// Usage:
+//
+//	rdx -workload mcf -n 4194304 -period 8192 [-exact] [-granularity word]
+//	rdx -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "mcf", "suite workload to profile (see -list)")
+		n        = flag.Uint64("n", 4<<20, "number of memory accesses to execute")
+		period   = flag.Uint64("period", 8<<10, "mean sampling period in accesses")
+		nwp      = flag.Int("watchpoints", 4, "number of hardware debug registers")
+		seed     = flag.Uint64("seed", 1, "random seed for workload and profiler")
+		gran     = flag.String("granularity", "word", "measurement granularity: byte, word or line")
+		runExact = flag.Bool("exact", false, "also run the exhaustive ground-truth tool and report accuracy")
+		pairs    = flag.Int("pairs", 0, "print the top N use→reuse code pairs by weight")
+		jsonOut  = flag.String("json", "", "write the profile result (histograms + counters) as JSON to this file")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range rdx.WorkloadNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	g, err := parseGranularity(*gran)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := rdx.DefaultConfig()
+	cfg.SamplePeriod = *period
+	cfg.NumWatchpoints = *nwp
+	cfg.Granularity = g
+	cfg.Seed = *seed
+
+	stream, err := rdx.Workload(*workload, *seed, *n)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := rdx.Profile(stream, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload %s: %d accesses, period %d, %d watchpoints, %s granularity\n",
+		*workload, res.Accesses, *period, *nwp, g)
+	fmt.Printf("samples=%d armed=%d traps=%d reuse-pairs=%d cold=%d dropped=%d\n",
+		res.Samples, res.ArmedSamples, res.Traps, res.ReusePairs, res.ColdSamples, res.Dropped)
+	fmt.Printf("modelled time overhead: %.2f%%\n", 100*res.TimeOverhead())
+	fmt.Printf("\nRDX reuse-distance histogram:\n%s", res.ReuseDistance)
+
+	if *pairs > 0 {
+		fmt.Printf("\ntop %d use→reuse code pairs (by carried weight):\n", *pairs)
+		fmt.Printf("%-12s %-12s %10s %12s %12s\n", "use PC", "reuse PC", "count", "mean RD", "weight")
+		for _, p := range res.Attribution.TopWeight(*pairs) {
+			fmt.Printf("%#-12x %#-12x %10d %12.0f %12.0f\n",
+				uint64(p.Pair.UsePC), uint64(p.Pair.ReusePC), p.Count, p.MeanDistance, p.Weight)
+		}
+	}
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, *workload, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote JSON profile to %s\n", *jsonOut)
+	}
+
+	if *runExact {
+		stream, err := rdx.Workload(*workload, *seed, *n)
+		if err != nil {
+			fatal(err)
+		}
+		gt, err := rdx.Exact(stream, g)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nground-truth reuse-distance histogram (%d distinct blocks):\n%s",
+			gt.DistinctBlocks, gt.ReuseDistance)
+		fmt.Printf("\naccuracy: %.4f\n", rdx.Accuracy(res.ReuseDistance, gt.ReuseDistance))
+	}
+}
+
+// jsonProfile is the serialized form of a profile result.
+type jsonProfile struct {
+	Workload      string         `json:"workload"`
+	Accesses      uint64         `json:"accesses"`
+	SamplePeriod  uint64         `json:"sample_period"`
+	Samples       uint64         `json:"samples"`
+	ReusePairs    uint64         `json:"reuse_pairs"`
+	ColdSamples   uint64         `json:"cold_samples"`
+	TimeOverhead  float64        `json:"time_overhead"`
+	ReuseDistance *rdx.Histogram `json:"reuse_distance"`
+	ReuseTime     *rdx.Histogram `json:"reuse_time"`
+	Attribution   []jsonPair     `json:"attribution,omitempty"`
+}
+
+type jsonPair struct {
+	UsePC        uint64  `json:"use_pc"`
+	ReusePC      uint64  `json:"reuse_pc"`
+	Count        uint64  `json:"count"`
+	Weight       float64 `json:"weight"`
+	MeanDistance float64 `json:"mean_distance"`
+}
+
+func writeJSON(path, workload string, res *rdx.Result) error {
+	jp := jsonProfile{
+		Workload:      workload,
+		Accesses:      res.Accesses,
+		SamplePeriod:  res.Config.SamplePeriod,
+		Samples:       res.Samples,
+		ReusePairs:    res.ReusePairs,
+		ColdSamples:   res.ColdSamples,
+		TimeOverhead:  res.TimeOverhead(),
+		ReuseDistance: res.ReuseDistance,
+		ReuseTime:     res.ReuseTime,
+	}
+	for _, p := range res.Attribution {
+		jp.Attribution = append(jp.Attribution, jsonPair{
+			UsePC:        uint64(p.Pair.UsePC),
+			ReusePC:      uint64(p.Pair.ReusePC),
+			Count:        p.Count,
+			Weight:       p.Weight,
+			MeanDistance: p.MeanDistance,
+		})
+	}
+	data, err := json.MarshalIndent(jp, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func parseGranularity(s string) (rdx.Granularity, error) {
+	switch s {
+	case "byte":
+		return rdx.ByteGranularity, nil
+	case "word":
+		return rdx.WordGranularity, nil
+	case "line":
+		return rdx.LineGranularity, nil
+	default:
+		return 0, fmt.Errorf("unknown granularity %q (want byte, word or line)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rdx:", err)
+	os.Exit(1)
+}

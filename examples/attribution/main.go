@@ -1,0 +1,66 @@
+// attribution demonstrates RDX's actionable output: pinpointing *which
+// code* causes poor locality, with no instrumentation. It profiles a
+// naive matrix multiply, shows that the worst-locality use→reuse pair is
+// the B-matrix load (whose column-wise reuse spans the whole matrix),
+// applies the tiling fix a performance engineer would, and shows the
+// pair's reuse distance collapse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	matrixN := flag.Int("matrix", 256, "matrix dimension N")
+	block := flag.Int("block", 32, "tile size for the fixed variant")
+	flag.Parse()
+
+	const kernelPC = rdx.Addr(0x770000)
+	siteNames := map[rdx.Addr]string{
+		kernelPC + 0: "load A[i][k]",
+		kernelPC + 1: "load B[k][j]",
+		kernelPC + 2: "load C[i][j]",
+		kernelPC + 3: "store C[i][j]",
+	}
+
+	cfg := rdx.DefaultConfig()
+	cfg.SamplePeriod = 2 << 10
+
+	profile := func(label string, bs int) {
+		stream := rdx.Tag(kernelPC, rdx.MatMulBlocked(0, *matrixN, bs))
+		res, err := rdx.Profile(stream, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%d samples, %d reuse pairs):\n", label, res.Samples, res.ReusePairs)
+		fmt.Printf("  %-28s %-28s %10s %12s\n", "use site", "reuse site", "count", "mean RD")
+		minW := 0.0
+		if len(res.Attribution) > 0 {
+			minW = res.Attribution[0].Weight / 50
+		}
+		for _, p := range res.Attribution.WorstLocality(4, minW) {
+			fmt.Printf("  %-28s %-28s %10d %12.0f\n",
+				site(siteNames, p.Pair.UsePC), site(siteNames, p.Pair.ReusePC),
+				p.Count, p.MeanDistance)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("profiling %dx%d matrix multiply, worst-locality code pairs first\n\n", *matrixN, *matrixN)
+	profile("naive (i,j,k loops)", *matrixN)
+	profile(fmt.Sprintf("tiled %dx%d", *block, *block), *block)
+
+	fmt.Println("the B-load's reuse distance collapses under tiling — the exact")
+	fmt.Println("diagnosis and fix the paper's attribution workflow targets.")
+}
+
+func site(names map[rdx.Addr]string, pc rdx.Addr) string {
+	if s, ok := names[pc]; ok {
+		return s
+	}
+	return fmt.Sprintf("%#x", uint64(pc))
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/histogram"
+	"repro/internal/mem"
+)
+
+// PairKey identifies a use→reuse pair of code sites: the program counter
+// of the sampled (use) access and of the trapping (reuse) access. This
+// is RDX's actionable output — it names the two instructions between
+// which the measured locality (or lack of it) happens, with no
+// instrumentation: the use PC arrives in the PMU sample and the reuse PC
+// in the watchpoint trap frame.
+type PairKey struct {
+	UsePC   mem.Addr
+	ReusePC mem.Addr
+}
+
+// PairStat aggregates the reuses carried by one use→reuse code pair.
+type PairStat struct {
+	Pair PairKey
+	// Count is the number of observed reuse pairs.
+	Count uint64
+	// Weight is the total sample weight (each observation weighted by
+	// the sampling period and its censoring correction), i.e. the
+	// estimated number of program accesses this pair carries.
+	Weight float64
+	// MeanDistance is the weighted mean reuse distance of the pair's
+	// observations (after footprint conversion).
+	MeanDistance float64
+	// MinTime and MaxTime bound the observed reuse times.
+	MinTime, MaxTime uint64
+}
+
+// Attribution is the per-code-pair breakdown of a profile, ordered by
+// descending weight (the pairs carrying the most accesses first).
+type Attribution []PairStat
+
+// TopWeight returns the first n pairs (all if n exceeds the length).
+func (a Attribution) TopWeight(n int) Attribution {
+	if n > len(a) {
+		n = len(a)
+	}
+	return a[:n]
+}
+
+// WorstLocality returns the n pairs with the largest weighted mean
+// distance among pairs carrying at least minWeight — the code pairs a
+// performance engineer should look at first.
+func (a Attribution) WorstLocality(n int, minWeight float64) Attribution {
+	filtered := make(Attribution, 0, len(a))
+	for _, p := range a {
+		if p.Weight >= minWeight {
+			filtered = append(filtered, p)
+		}
+	}
+	sort.Slice(filtered, func(i, j int) bool {
+		return filtered[i].MeanDistance > filtered[j].MeanDistance
+	})
+	if n > len(filtered) {
+		n = len(filtered)
+	}
+	return filtered[:n]
+}
+
+// buildAttribution aggregates per-observation records into sorted pair
+// statistics. times/weights/pcs run parallel; dist converts a reuse time
+// to a distance (identity when conversion is off).
+func buildAttribution(times []uint64, weights []float64, pcs []PairKey, dist func(uint64) uint64) Attribution {
+	type agg struct {
+		count            uint64
+		weight           float64
+		distSum          float64
+		minTime, maxTime uint64
+	}
+	m := make(map[PairKey]*agg)
+	for i, t := range times {
+		if i >= len(pcs) {
+			break
+		}
+		a := m[pcs[i]]
+		if a == nil {
+			a = &agg{minTime: t, maxTime: t}
+			m[pcs[i]] = a
+		}
+		w := weights[i]
+		a.count++
+		a.weight += w
+		a.distSum += w * float64(dist(t))
+		if t < a.minTime {
+			a.minTime = t
+		}
+		if t > a.maxTime {
+			a.maxTime = t
+		}
+	}
+	out := make(Attribution, 0, len(m))
+	for k, a := range m {
+		ps := PairStat{
+			Pair:    k,
+			Count:   a.count,
+			Weight:  a.weight,
+			MinTime: a.minTime,
+			MaxTime: a.maxTime,
+		}
+		if a.weight > 0 {
+			ps.MeanDistance = a.distSum / a.weight
+		}
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Pair.UsePC < out[j].Pair.UsePC ||
+			(out[i].Pair.UsePC == out[j].Pair.UsePC && out[i].Pair.ReusePC < out[j].Pair.ReusePC)
+	})
+	return out
+}
+
+// histogramForPair rebuilds a distance histogram restricted to one code
+// pair, for drill-down reporting.
+func histogramForPair(times []uint64, weights []float64, pcs []PairKey, key PairKey, period float64, dist func(uint64) uint64) *histogram.Histogram {
+	h := histogram.New()
+	for i, t := range times {
+		if i < len(pcs) && pcs[i] == key {
+			h.Add(dist(t), period*weights[i])
+		}
+	}
+	return h
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cpumodel"
+	"repro/internal/histogram"
+	"repro/internal/trace"
+)
+
+// MultiResult is the merged outcome of profiling several threads. Real
+// RDX profiles multithreaded programs with per-thread PMU contexts and
+// per-thread debug registers (the hardware is per-core); reuse is
+// measured within each thread and the histograms are merged. Reuses
+// whose use and reuse happen on different threads are not observed — a
+// limitation shared with the real tool, measured by the cross-thread
+// test.
+type MultiResult struct {
+	// Threads holds each thread's individual result, in input order.
+	Threads []*Result
+	// ReuseDistance and ReuseTime are the weight-merged histograms.
+	ReuseDistance *histogram.Histogram
+	ReuseTime     *histogram.Histogram
+	// Attribution is the weight-merged code-pair breakdown.
+	Attribution Attribution
+
+	Accesses   uint64
+	Samples    uint64
+	ReusePairs uint64
+}
+
+// TimeOverhead returns the modelled overhead of the slowest thread
+// (threads run concurrently, so the program's wall-clock overhead is
+// the maximum per-thread overhead).
+func (m *MultiResult) TimeOverhead() float64 {
+	worst := 0.0
+	for _, r := range m.Threads {
+		if oh := r.TimeOverhead(); oh > worst {
+			worst = oh
+		}
+	}
+	return worst
+}
+
+// ProfileThreads profiles each stream as one thread of a multithreaded
+// program: every thread gets its own simulated core, PMU and debug
+// registers (per-thread contexts, as perf_event and ptrace provide), and
+// the per-thread histograms are merged into program-level results.
+// Threads run concurrently.
+func ProfileThreads(streams []trace.Reader, cfg Config, costs cpumodel.Costs) (*MultiResult, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("core: ProfileThreads with no streams")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(streams))
+	errs := make([]error, len(streams))
+	var wg sync.WaitGroup
+	for i, s := range streams {
+		wg.Add(1)
+		go func(i int, s trace.Reader) {
+			defer wg.Done()
+			tcfg := cfg
+			// De-correlate per-thread sampling phases.
+			tcfg.Seed = cfg.Seed + uint64(i)*0x9e3779b9
+			p, err := NewProfiler(tcfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = p.Run(s, costs)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: thread %d: %w", i, err)
+		}
+	}
+	return MergeResults(results), nil
+}
+
+// MergeResults combines per-thread results into one program-level view.
+func MergeResults(results []*Result) *MultiResult {
+	m := &MultiResult{
+		Threads:       results,
+		ReuseDistance: histogram.New(),
+		ReuseTime:     histogram.New(),
+	}
+	type agg struct {
+		count            uint64
+		weight, distSum  float64
+		minTime, maxTime uint64
+	}
+	pairs := make(map[PairKey]*agg)
+	for _, r := range results {
+		m.ReuseDistance.AddHistogram(r.ReuseDistance)
+		m.ReuseTime.AddHistogram(r.ReuseTime)
+		m.Accesses += r.Accesses
+		m.Samples += r.Samples
+		m.ReusePairs += r.ReusePairs
+		for _, p := range r.Attribution {
+			a := pairs[p.Pair]
+			if a == nil {
+				a = &agg{minTime: p.MinTime, maxTime: p.MaxTime}
+				pairs[p.Pair] = a
+			}
+			a.count += p.Count
+			a.weight += p.Weight
+			a.distSum += p.Weight * p.MeanDistance
+			if p.MinTime < a.minTime {
+				a.minTime = p.MinTime
+			}
+			if p.MaxTime > a.maxTime {
+				a.maxTime = p.MaxTime
+			}
+		}
+	}
+	for k, a := range pairs {
+		ps := PairStat{Pair: k, Count: a.count, Weight: a.weight, MinTime: a.minTime, MaxTime: a.maxTime}
+		if a.weight > 0 {
+			ps.MeanDistance = a.distSum / a.weight
+		}
+		m.Attribution = append(m.Attribution, ps)
+	}
+	sort.Slice(m.Attribution, func(i, j int) bool {
+		if m.Attribution[i].Weight != m.Attribution[j].Weight {
+			return m.Attribution[i].Weight > m.Attribution[j].Weight
+		}
+		return m.Attribution[i].Pair.UsePC < m.Attribution[j].Pair.UsePC
+	})
+	return m
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpumodel"
+	"repro/internal/exact"
+	"repro/internal/histogram"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestProfileThreadsMatchesSingleThread(t *testing.T) {
+	// Four threads each running the same kernel over disjoint regions
+	// must merge to the same histogram shape as one thread running it.
+	const n = 200000
+	mkThread := func(i int) trace.Reader {
+		return trace.Cyclic(mem.Addr(i)<<40, 700, n)
+	}
+	cfg := testConfig(500)
+	multi, err := ProfileThreads([]trace.Reader{mkThread(0), mkThread(1), mkThread(2), mkThread(3)}, cfg, cpumodel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := runRDX(t, cfg, mkThread(0))
+	if acc := histogram.Accuracy(multi.ReuseDistance, single.ReuseDistance); acc < 0.95 {
+		t.Errorf("merged histogram diverges from per-thread shape: accuracy %v", acc)
+	}
+	if multi.Accesses != 4*n {
+		t.Errorf("merged accesses = %d, want %d", multi.Accesses, 4*n)
+	}
+	if len(multi.Threads) != 4 {
+		t.Errorf("threads = %d", len(multi.Threads))
+	}
+	if multi.ReusePairs == 0 || multi.Samples == 0 {
+		t.Error("merged counters empty")
+	}
+}
+
+func TestProfileThreadsAgainstExactPerThread(t *testing.T) {
+	// Merged multi-thread measurement vs merged per-thread ground truth.
+	const n = 300000
+	mk := func(i int) trace.Reader {
+		return trace.ZipfAccess(uint64(i)+3, mem.Addr(i)<<40, 5000, 1.0, n)
+	}
+	cfg := testConfig(400)
+	multi, err := ProfileThreads([]trace.Reader{mk(0), mk(1)}, cfg, cpumodel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtMerged := histogram.New()
+	for i := 0; i < 2; i++ {
+		gt, err := exact.Measure(mk(i), mem.WordGranularity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gtMerged.AddHistogram(gt.ReuseDistance())
+	}
+	if acc := histogram.Accuracy(multi.ReuseDistance, gtMerged); acc < 0.85 {
+		t.Errorf("multi-thread accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestProfileThreadsHeterogeneous(t *testing.T) {
+	// A streaming thread plus a cache-resident thread: the merged
+	// histogram must contain both cold mass and short-distance mass.
+	const n = 200000
+	cfg := testConfig(500)
+	multi, err := ProfileThreads([]trace.Reader{
+		trace.Sequential(0, n, 8),   // all cold
+		trace.Cyclic(1<<40, 100, n), // all short reuses
+	}, cfg, cpumodel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := multi.ReuseDistance
+	if rd.Cold() == 0 {
+		t.Error("merged histogram lost the streaming thread's cold mass")
+	}
+	if rd.TotalFinite() == 0 {
+		t.Error("merged histogram lost the hot thread's reuse mass")
+	}
+	coldFrac := rd.Cold() / rd.Total()
+	if math.Abs(coldFrac-0.5) > 0.15 {
+		t.Errorf("cold fraction = %v, want ~0.5 (half the threads stream)", coldFrac)
+	}
+}
+
+func TestProfileThreadsMergedAttribution(t *testing.T) {
+	const n = 200000
+	cfg := testConfig(300)
+	multi, err := ProfileThreads([]trace.Reader{
+		trace.Tag(0x1000, trace.Cyclic(0, 64, n)),
+		trace.Tag(0x2000, trace.Cyclic(1<<40, 64, n)),
+	}, cfg, cpumodel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[mem.Addr]bool{}
+	for _, p := range multi.Attribution {
+		seen[p.Pair.UsePC] = true
+	}
+	if !seen[0x1000] || !seen[0x2000] {
+		t.Errorf("merged attribution missing a thread's pairs: %+v", multi.Attribution)
+	}
+}
+
+func TestProfileThreadsErrors(t *testing.T) {
+	if _, err := ProfileThreads(nil, DefaultConfig(), cpumodel.Default()); err == nil {
+		t.Error("empty stream list accepted")
+	}
+	if _, err := ProfileThreads([]trace.Reader{trace.Cyclic(0, 8, 100)}, Config{}, cpumodel.Default()); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestCrossThreadReuseInvisible(t *testing.T) {
+	// Documented limitation: a block used by thread A and reused only by
+	// thread B is never observed as a reuse (per-thread debug
+	// registers). Both threads see their own stream as streaming.
+	const n = 100000
+	// Thread A touches even words once; thread B touches the same words
+	// afterwards. Within each thread no address repeats.
+	a := trace.Sequential(0, n, 8)
+	b := trace.Sequential(0, n, 8) // same addresses, different thread
+	multi, err := ProfileThreads([]trace.Reader{a, b}, testConfig(500), cpumodel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.ReusePairs != 0 {
+		t.Errorf("cross-thread reuses observed (%d pairs); per-thread contexts should miss them", multi.ReusePairs)
+	}
+}
+
+func TestMultiResultTimeOverheadIsWorstThread(t *testing.T) {
+	const n = 200000
+	multi, err := ProfileThreads([]trace.Reader{
+		trace.Cyclic(0, 64, n),
+		trace.Cyclic(1<<40, 64, n/10), // short thread
+	}, testConfig(500), cpumodel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for _, r := range multi.Threads {
+		if oh := r.TimeOverhead(); oh > worst {
+			worst = oh
+		}
+	}
+	if multi.TimeOverhead() != worst {
+		t.Errorf("TimeOverhead = %v, want max per-thread %v", multi.TimeOverhead(), worst)
+	}
+}

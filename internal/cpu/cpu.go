@@ -1,0 +1,114 @@
+// Package cpu ties the simulated hardware together: a Machine executes a
+// memory-access stream, driving the PMU (overflow sampling) and the debug
+// registers (watchpoint traps) on every access, and charging the cycle
+// cost model for the base access plus every profiling event it induces.
+//
+// Profilers never see the raw stream — exactly like a real
+// no-instrumentation tool, they interact with the program only through
+// PMU samples and watchpoint traps raised by the machine. The exhaustive
+// ground-truth tool instead registers a per-access instrumentation
+// callback, paying the corresponding modelled cost, which is precisely
+// the asymmetry the paper's overhead comparison measures.
+package cpu
+
+import (
+	"repro/internal/cpumodel"
+	"repro/internal/debugreg"
+	"repro/internal/mem"
+	"repro/internal/pmu"
+	"repro/internal/trace"
+)
+
+// Instrument is a per-access callback used by exhaustive
+// (instrumentation-based) tools. Each invocation is charged
+// Costs.InstrumentCycles.
+type Instrument func(index uint64, a mem.Access)
+
+// Machine is one simulated core executing one program (access stream).
+type Machine struct {
+	pmu     *pmu.PMU
+	drs     *debugreg.File
+	account *cpumodel.Account
+	instr   Instrument
+
+	accessIndex uint64 // index of the access currently executing
+	running     bool
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithPMU attaches a simulated PMU. The machine ticks it on every access.
+func WithPMU(p *pmu.PMU) Option {
+	return func(m *Machine) { m.pmu = p }
+}
+
+// WithDebugRegisters attaches a debug-register file. The machine checks
+// every access against it and charges trap cost for each delivered trap.
+func WithDebugRegisters(f *debugreg.File) Option {
+	return func(m *Machine) { m.drs = f }
+}
+
+// WithInstrumentation attaches an exhaustive per-access callback (the
+// ground-truth tool's analysis routine).
+func WithInstrumentation(fn Instrument) Option {
+	return func(m *Machine) { m.instr = fn }
+}
+
+// New builds a machine charging the given cost table.
+func New(costs cpumodel.Costs, opts ...Option) *Machine {
+	m := &Machine{account: cpumodel.NewAccount(costs)}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// PMU returns the attached PMU (nil if none).
+func (m *Machine) PMU() *pmu.PMU { return m.pmu }
+
+// DebugRegisters returns the attached debug-register file (nil if none).
+func (m *Machine) DebugRegisters() *debugreg.File { return m.drs }
+
+// Account returns the cycle account for this machine's run.
+func (m *Machine) Account() *cpumodel.Account { return m.account }
+
+// AccessIndex returns the global index of the access currently executing
+// (valid inside PMU/trap/instrumentation callbacks), or of the last
+// executed access after Run returns.
+func (m *Machine) AccessIndex() uint64 { return m.accessIndex }
+
+// Run executes the stream to exhaustion. It may be called once per
+// machine.
+func (m *Machine) Run(r trace.Reader) error {
+	m.running = true
+	defer func() { m.running = false }()
+	var idx uint64
+	err := trace.ForEach(r, func(a mem.Access) bool {
+		m.accessIndex = idx
+		m.account.Accesses++
+
+		if m.instr != nil {
+			m.account.Instrumented++
+			m.instr(idx, a)
+		}
+		if m.drs != nil {
+			if n := m.drs.Check(a); n > 0 {
+				m.account.Traps += uint64(n)
+			}
+		}
+		if m.pmu != nil {
+			if m.pmu.Tick(a) {
+				m.account.Samples++
+			}
+		}
+		idx++
+		return true
+	})
+	// Arm cost is charged from the debug-register file's own tally so
+	// that profilers don't need to report it separately.
+	if m.drs != nil {
+		m.account.Arms = m.drs.Arms()
+	}
+	return err
+}

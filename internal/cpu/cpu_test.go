@@ -1,0 +1,125 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/cpumodel"
+	"repro/internal/debugreg"
+	"repro/internal/mem"
+	"repro/internal/pmu"
+	"repro/internal/trace"
+)
+
+func TestRunCountsAccesses(t *testing.T) {
+	m := New(cpumodel.Default())
+	if err := m.Run(trace.Sequential(0, 1000, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Account().Accesses; got != 1000 {
+		t.Errorf("accesses = %d, want 1000", got)
+	}
+	if got := m.Account().NativeCycles(); got != 1000*cpumodel.Default().AccessCycles {
+		t.Errorf("native cycles = %d", got)
+	}
+}
+
+func TestInstrumentationSeesEveryAccess(t *testing.T) {
+	var idxs []uint64
+	m := New(cpumodel.Default(), WithInstrumentation(func(i uint64, a mem.Access) {
+		idxs = append(idxs, i)
+	}))
+	if err := m.Run(trace.Sequential(0, 100, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if len(idxs) != 100 {
+		t.Fatalf("instrumented %d accesses, want 100", len(idxs))
+	}
+	for i, v := range idxs {
+		if v != uint64(i) {
+			t.Fatalf("instrumentation index %d = %d", i, v)
+		}
+	}
+	if got := m.Account().Instrumented; got != 100 {
+		t.Errorf("charged %d instrumented accesses", got)
+	}
+}
+
+func TestPMUDrivenByMachine(t *testing.T) {
+	samples := 0
+	p := pmu.New(pmu.Config{Event: pmu.AllAccesses, Period: 100}, func(pmu.Sample) { samples++ })
+	m := New(cpumodel.Default(), WithPMU(p))
+	if err := m.Run(trace.Sequential(0, 1000, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if samples != 10 {
+		t.Errorf("samples = %d, want 10", samples)
+	}
+	if got := m.Account().Samples; got != 10 {
+		t.Errorf("account samples = %d, want 10", got)
+	}
+}
+
+func TestWatchpointTrapAccounting(t *testing.T) {
+	traps := 0
+	f := debugreg.NewFile(4, func(tr debugreg.Trap) { traps++ })
+	if err := f.Arm(0, 0, 8, debugreg.WatchReadWrite, 0); err != nil {
+		t.Fatal(err)
+	}
+	m := New(cpumodel.Default(), WithDebugRegisters(f))
+	// Cyclic over 4 words touches word 0 on every lap.
+	if err := m.Run(trace.Cyclic(0, 4, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if traps != 10 {
+		t.Errorf("traps = %d, want 10", traps)
+	}
+	if got := m.Account().Traps; got != 10 {
+		t.Errorf("account traps = %d, want 10", got)
+	}
+	if got := m.Account().Arms; got != 1 {
+		t.Errorf("account arms = %d, want 1", got)
+	}
+}
+
+func TestWatchpointCheckedBeforePMUTick(t *testing.T) {
+	// A profiler arming a watchpoint inside a PMU handler must not see a
+	// trap for the very access that was sampled.
+	var f *debugreg.File
+	trapped := false
+	f = debugreg.NewFile(1, func(debugreg.Trap) { trapped = true })
+	p := pmu.New(pmu.Config{Event: pmu.AllAccesses, Period: 5}, func(s pmu.Sample) {
+		if !f.IsArmed(0) {
+			if err := f.Arm(0, s.Access.Addr, 8, debugreg.WatchReadWrite, s.Count); err != nil {
+				t.Fatal(err)
+			}
+			trapped = false
+		}
+	})
+	m := New(cpumodel.Default(), WithPMU(p), WithDebugRegisters(f))
+	// Every access hits the same word: the trap must come from the
+	// access *after* the sampled one, never the sampled one itself.
+	if err := m.Run(trace.Cyclic(0, 1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if !trapped {
+		t.Error("watchpoint never trapped on subsequent access")
+	}
+}
+
+func TestOverheadGrowsWithProfiling(t *testing.T) {
+	plain := New(cpumodel.Default())
+	if err := plain.Run(trace.Sequential(0, 10000, 8)); err != nil {
+		t.Fatal(err)
+	}
+	p := pmu.New(pmu.Config{Event: pmu.AllAccesses, Period: 10}, func(pmu.Sample) {})
+	profiled := New(cpumodel.Default(), WithPMU(p))
+	if err := profiled.Run(trace.Sequential(0, 10000, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Account().Overhead() != 0 {
+		t.Errorf("plain run has overhead %v", plain.Account().Overhead())
+	}
+	if profiled.Account().Overhead() <= 0 {
+		t.Error("profiled run has no overhead")
+	}
+}

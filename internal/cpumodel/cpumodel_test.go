@@ -1,0 +1,78 @@
+package cpumodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNativeAndTotalCycles(t *testing.T) {
+	a := NewAccount(Costs{AccessCycles: 4, SampleCycles: 100, TrapCycles: 200, ArmCycles: 50, InstrumentCycles: 10})
+	a.Accesses = 1000
+	a.Samples = 2
+	a.Traps = 3
+	a.Arms = 4
+	a.Instrumented = 5
+	if got := a.NativeCycles(); got != 4000 {
+		t.Errorf("NativeCycles = %d, want 4000", got)
+	}
+	want := uint64(4000 + 200 + 600 + 200 + 50)
+	if got := a.TotalCycles(); got != want {
+		t.Errorf("TotalCycles = %d, want %d", got, want)
+	}
+}
+
+func TestOverheadAndSlowdown(t *testing.T) {
+	a := NewAccount(Costs{AccessCycles: 1, SampleCycles: 100})
+	a.Accesses = 1000
+	a.Samples = 10
+	if got := a.Slowdown(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Slowdown = %v, want 2", got)
+	}
+	if got := a.Overhead(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Overhead = %v, want 1", got)
+	}
+}
+
+func TestZeroAccessesEdgeCases(t *testing.T) {
+	a := NewAccount(Default())
+	if a.Overhead() != 0 {
+		t.Errorf("empty Overhead = %v", a.Overhead())
+	}
+	if a.Slowdown() != 1 {
+		t.Errorf("empty Slowdown = %v", a.Slowdown())
+	}
+}
+
+func TestScaledLeavesAccessCost(t *testing.T) {
+	c := Default().Scaled(2)
+	d := Default()
+	if c.AccessCycles != d.AccessCycles {
+		t.Errorf("Scaled changed AccessCycles: %d", c.AccessCycles)
+	}
+	if c.SampleCycles != 2*d.SampleCycles || c.TrapCycles != 2*d.TrapCycles ||
+		c.ArmCycles != 2*d.ArmCycles || c.InstrumentCycles != 2*d.InstrumentCycles {
+		t.Errorf("Scaled(2) = %+v", c)
+	}
+}
+
+func TestScaledFractional(t *testing.T) {
+	c := Costs{SampleCycles: 10}.Scaled(0.25)
+	if c.SampleCycles != 3 { // 2.5 rounds to 3 with +0.5
+		t.Errorf("Scaled(0.25) sample cycles = %d, want 3", c.SampleCycles)
+	}
+}
+
+func TestDefaultOrdersOfMagnitude(t *testing.T) {
+	// The calibration must keep interrupts ~1000x an access and
+	// instrumentation ~10-100x, or overhead experiments lose meaning.
+	d := Default()
+	if d.SampleCycles < 100*d.AccessCycles {
+		t.Error("sample cost implausibly low")
+	}
+	if d.TrapCycles < 100*d.AccessCycles {
+		t.Error("trap cost implausibly low")
+	}
+	if d.InstrumentCycles < 10*d.AccessCycles || d.InstrumentCycles > d.SampleCycles {
+		t.Error("instrumentation cost out of calibrated band")
+	}
+}

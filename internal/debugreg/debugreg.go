@@ -1,0 +1,196 @@
+// Package debugreg simulates the hardware debug registers (x86 DR0–DR3
+// and their DR7 control bits) that RDX uses as address watchpoints.
+//
+// The simulation models the properties RDX's design depends on:
+//
+//   - scarcity: commodity x86 exposes exactly 4 data watchpoints; the
+//     count is configurable to reproduce the paper's sensitivity study;
+//   - width/alignment: each watchpoint covers a naturally aligned 1-, 2-,
+//     4- or 8-byte range and traps on any access overlapping it;
+//   - trap delivery: a matching access raises a synchronous debug
+//     exception, delivered to a registered handler before execution
+//     continues (the role SIGTRAP plays for a user-space profiler);
+//   - kind filtering: watch stores only, or loads and stores (x86 has no
+//     load-only mode; we model the RW=3 "read/write" and RW=1 "write"
+//     encodings).
+package debugreg
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// WatchKind mirrors the DR7 RW encodings that matter for data
+// watchpoints.
+type WatchKind uint8
+
+const (
+	// WatchReadWrite traps on loads and stores (DR7 RW=3).
+	WatchReadWrite WatchKind = iota
+	// WatchWrite traps on stores only (DR7 RW=1).
+	WatchWrite
+)
+
+func (k WatchKind) matches(a mem.Access) bool {
+	if k == WatchWrite {
+		return a.Kind == mem.Store
+	}
+	return true
+}
+
+// MaxWidth is the widest range one watchpoint can cover, as on x86.
+const MaxWidth = 8
+
+// Watchpoint describes one armed debug register.
+type Watchpoint struct {
+	Addr  mem.Addr // base address, naturally aligned to Width
+	Width uint8    // 1, 2, 4 or 8 bytes
+	Kind  WatchKind
+	// Tag is opaque client data carried with the watchpoint (RDX stores
+	// the counter value captured when the watchpoint was armed).
+	Tag uint64
+}
+
+func (w Watchpoint) covers(a mem.Access) bool {
+	if !w.Kind.matches(a) {
+		return false
+	}
+	return a.Addr < w.Addr+mem.Addr(w.Width) && w.Addr < a.Addr+mem.Addr(a.Size)
+}
+
+// Trap is delivered to the handler when an access hits a watchpoint.
+type Trap struct {
+	Slot   int
+	WP     Watchpoint
+	Access mem.Access
+}
+
+// TrapHandler receives debug exceptions. It runs synchronously at the
+// faulting access; the watchpoint remains armed unless the handler
+// disarms it (matching how a SIGTRAP handler must reset DR7 itself).
+type TrapHandler func(Trap)
+
+// File is a set of hardware debug registers.
+type File struct {
+	slots   []Watchpoint
+	armed   []bool
+	handler TrapHandler
+	traps   uint64
+	arms    uint64
+}
+
+// NewFile returns a debug-register file with n slots (n=4 matches x86).
+func NewFile(n int, handler TrapHandler) *File {
+	if n <= 0 {
+		panic("debugreg: NewFile with n <= 0")
+	}
+	return &File{
+		slots:   make([]Watchpoint, n),
+		armed:   make([]bool, n),
+		handler: handler,
+	}
+}
+
+// NumSlots returns the number of debug registers.
+func (f *File) NumSlots() int { return len(f.slots) }
+
+// validWidth reports whether w is a legal watchpoint width.
+func validWidth(w uint8) bool {
+	return w == 1 || w == 2 || w == 4 || w == 8
+}
+
+// Arm programs slot with a watchpoint on the naturally aligned
+// width-byte range containing addr. It returns an error for an invalid
+// slot or width. Arming an already armed slot overwrites it, as writing
+// DRx does on hardware.
+func (f *File) Arm(slot int, addr mem.Addr, width uint8, kind WatchKind, tag uint64) error {
+	if slot < 0 || slot >= len(f.slots) {
+		return fmt.Errorf("debugreg: slot %d out of range [0,%d)", slot, len(f.slots))
+	}
+	if !validWidth(width) {
+		return fmt.Errorf("debugreg: invalid watch width %d (want 1, 2, 4 or 8)", width)
+	}
+	base := addr &^ mem.Addr(width-1) // natural alignment, as DR7 LEN requires
+	f.slots[slot] = Watchpoint{Addr: base, Width: width, Kind: kind, Tag: tag}
+	f.armed[slot] = true
+	f.arms++
+	return nil
+}
+
+// Disarm clears slot. Disarming an unarmed slot is a no-op.
+func (f *File) Disarm(slot int) {
+	if slot >= 0 && slot < len(f.slots) {
+		f.armed[slot] = false
+	}
+}
+
+// DisarmAll clears every slot.
+func (f *File) DisarmAll() {
+	for i := range f.armed {
+		f.armed[i] = false
+	}
+}
+
+// IsArmed reports whether slot holds an active watchpoint.
+func (f *File) IsArmed(slot int) bool {
+	return slot >= 0 && slot < len(f.slots) && f.armed[slot]
+}
+
+// Slot returns the watchpoint in slot (meaningful only if armed).
+func (f *File) Slot(slot int) Watchpoint { return f.slots[slot] }
+
+// FreeSlot returns the index of an unarmed slot, or -1 if all are armed.
+func (f *File) FreeSlot() int {
+	for i, a := range f.armed {
+		if !a {
+			return i
+		}
+	}
+	return -1
+}
+
+// ArmedCount returns how many slots are currently armed.
+func (f *File) ArmedCount() int {
+	n := 0
+	for _, a := range f.armed {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// ArmedSlots appends the indices of armed slots to dst and returns it.
+func (f *File) ArmedSlots(dst []int) []int {
+	for i, a := range f.armed {
+		if a {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// Check tests an access against every armed watchpoint, delivering a
+// trap for each hit (multiple watchpoints on overlapping ranges each
+// trap, matching DR6 reporting multiple set bits). It returns the number
+// of traps delivered.
+func (f *File) Check(a mem.Access) int {
+	n := 0
+	for i := range f.slots {
+		if f.armed[i] && f.slots[i].covers(a) {
+			n++
+			f.traps++
+			if f.handler != nil {
+				f.handler(Trap{Slot: i, WP: f.slots[i], Access: a})
+			}
+		}
+	}
+	return n
+}
+
+// Traps returns the total number of traps delivered.
+func (f *File) Traps() uint64 { return f.traps }
+
+// Arms returns the total number of Arm calls.
+func (f *File) Arms() uint64 { return f.arms }

@@ -1,0 +1,233 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/histogram"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func accessesFromBlocks(blocks []uint8) []mem.Access {
+	accs := make([]mem.Access, len(blocks))
+	for i, b := range blocks {
+		accs[i] = mem.Access{Addr: mem.Addr(b) * 8, Size: 8, Kind: mem.Load}
+	}
+	return accs
+}
+
+func TestObserveSimpleSequence(t *testing.T) {
+	// Blocks: A B A  → A cold, B cold, A distance 1 (B in between).
+	p := New(mem.WordGranularity)
+	for _, a := range accessesFromBlocks([]uint8{0, 1, 0}) {
+		p.Observe(a)
+	}
+	rd := p.ReuseDistance()
+	if got := rd.Cold(); got != 2 {
+		t.Errorf("cold = %v, want 2", got)
+	}
+	if got := rd.Weight(1); got != 1 { // distance 1 lands in bucket 1
+		t.Errorf("weight(distance 1) = %v, want 1", got)
+	}
+	rt := p.ReuseTime()
+	if got := rt.Weight(2); got != 1 { // reuse time 2 in bucket [2,4)
+		t.Errorf("weight(time 2) = %v, want 1", got)
+	}
+}
+
+func TestObserveImmediateReuse(t *testing.T) {
+	// A A → distance 0, time 1.
+	p := New(mem.WordGranularity)
+	for _, a := range accessesFromBlocks([]uint8{0, 0}) {
+		p.Observe(a)
+	}
+	if got := p.ReuseDistance().Weight(0); got != 1 {
+		t.Errorf("weight(distance 0) = %v, want 1", got)
+	}
+	if got := p.ReuseTime().Weight(1); got != 1 {
+		t.Errorf("weight(time 1) = %v, want 1", got)
+	}
+}
+
+func TestCyclicDistances(t *testing.T) {
+	// Cyclic over K blocks: every post-warmup access has distance K-1.
+	const k, laps = 8, 10
+	p, err := Measure(trace.Cyclic(0, k, k*laps), mem.WordGranularity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := p.ReuseDistance()
+	if got := rd.Cold(); got != k {
+		t.Errorf("cold = %v, want %v", got, k)
+	}
+	// Distance k-1 = 7 lands in bucket [4,8); every non-cold access has it.
+	if got := rd.Weight(3); got != k*(laps-1) {
+		t.Errorf("weight(bucket of 7) = %v, want %v", got, k*(laps-1))
+	}
+	rt := p.ReuseTime()
+	// Reuse time is exactly k = 8 → bucket [8,16).
+	if got := rt.Weight(4); got != k*(laps-1) {
+		t.Errorf("weight(bucket of time 8) = %v, want %v", got, k*(laps-1))
+	}
+}
+
+func TestDistinctBlocks(t *testing.T) {
+	p, err := Measure(trace.Cyclic(0, 100, 1000), mem.WordGranularity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.DistinctBlocks(); got != 100 {
+		t.Errorf("DistinctBlocks = %d, want 100", got)
+	}
+	if got := p.Accesses(); got != 1000 {
+		t.Errorf("Accesses = %d, want 1000", got)
+	}
+}
+
+func TestGranularityCoalescing(t *testing.T) {
+	// Two addresses in the same 64B line are the same block at line
+	// granularity but different blocks at word granularity.
+	accs := []mem.Access{
+		{Addr: 0, Size: 8}, {Addr: 8, Size: 8}, {Addr: 0, Size: 8},
+	}
+	word := New(mem.WordGranularity)
+	line := New(mem.LineGranularity)
+	for _, a := range accs {
+		word.Observe(a)
+		line.Observe(a)
+	}
+	if got := word.ReuseDistance().Cold(); got != 2 {
+		t.Errorf("word cold = %v, want 2", got)
+	}
+	// At line granularity the second access is already a reuse.
+	if got := line.ReuseDistance().Cold(); got != 1 {
+		t.Errorf("line cold = %v, want 1", got)
+	}
+}
+
+func TestStateBytesGrowsWithFootprint(t *testing.T) {
+	small, _ := Measure(trace.Cyclic(0, 16, 1000), mem.WordGranularity)
+	big, _ := Measure(trace.Cyclic(0, 4096, 10000), mem.WordGranularity)
+	if small.StateBytes() >= big.StateBytes() {
+		t.Errorf("state bytes did not grow with footprint: %d vs %d",
+			small.StateBytes(), big.StateBytes())
+	}
+}
+
+// TestAgainstNaive is the package's central property test: Olken's
+// algorithm must agree exactly with the O(N·M) definition-following
+// implementation on arbitrary traces.
+func TestAgainstNaive(t *testing.T) {
+	f := func(blocks []uint8) bool {
+		accs := accessesFromBlocks(blocks)
+		want := NaiveReuseDistances(accs, mem.WordGranularity)
+
+		p := New(mem.WordGranularity)
+		gotHist := histogram.New()
+		for _, a := range accs {
+			p.Observe(a)
+		}
+		for _, d := range want {
+			gotHist.Add(d, 1)
+		}
+		return histogram.Accuracy(p.ReuseDistance(), gotHist) > 1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAgainstNaivePerAccess checks individual distances, not just the
+// histogram, via a modified profiler run that records per-access values.
+func TestAgainstNaivePerAccess(t *testing.T) {
+	f := func(blocks []uint8) bool {
+		accs := accessesFromBlocks(blocks)
+		want := NaiveReuseDistances(accs, mem.WordGranularity)
+
+		// Recompute with the treap directly, mirroring Observe.
+		last := map[mem.Addr]uint64{}
+		tree := newOrderTreap(1)
+		for i, a := range accs {
+			tm := uint64(i + 1)
+			b := mem.WordGranularity.Block(a.Addr)
+			var got uint64
+			if prev, ok := last[b]; ok {
+				got = tree.CountGreater(prev)
+				tree.Delete(prev)
+			} else {
+				got = histogram.Infinite
+			}
+			if got != want[i] {
+				return false
+			}
+			tree.Insert(tm)
+			last[b] = tm
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreapBasics(t *testing.T) {
+	tr := newOrderTreap(7)
+	for i := uint64(1); i <= 100; i++ {
+		tr.Insert(i)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	if got := tr.CountGreater(50); got != 50 {
+		t.Errorf("CountGreater(50) = %d, want 50", got)
+	}
+	if got := tr.CountGreater(0); got != 100 {
+		t.Errorf("CountGreater(0) = %d, want 100", got)
+	}
+	if got := tr.CountGreater(100); got != 0 {
+		t.Errorf("CountGreater(100) = %d, want 0", got)
+	}
+	if !tr.Delete(50) {
+		t.Error("Delete(50) reported not found")
+	}
+	if tr.Delete(50) {
+		t.Error("second Delete(50) reported found")
+	}
+	if got := tr.CountGreater(49); got != 50 {
+		t.Errorf("CountGreater(49) after delete = %d, want 50", got)
+	}
+	if tr.Len() != 99 {
+		t.Errorf("Len after delete = %d", tr.Len())
+	}
+}
+
+func TestTreapFreeListReuse(t *testing.T) {
+	tr := newOrderTreap(3)
+	for i := uint64(1); i <= 1000; i++ {
+		tr.Insert(i)
+		if i > 10 {
+			tr.Delete(i - 10)
+		}
+	}
+	// Live set is bounded at ~10, so node storage should be too.
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", tr.Len())
+	}
+	if cap(tr.nodes) > 64 {
+		t.Errorf("treap did not reuse freed nodes: %d slots allocated", cap(tr.nodes))
+	}
+}
+
+func TestNaiveKnownValues(t *testing.T) {
+	// A B C B A → distances: inf, inf, inf, 1, 2
+	accs := accessesFromBlocks([]uint8{0, 1, 2, 1, 0})
+	got := NaiveReuseDistances(accs, mem.WordGranularity)
+	want := []uint64{histogram.Infinite, histogram.Infinite, histogram.Infinite, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("naive[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package exact
+
+import "math/bits"
+
+// osList is an order-statistics structure specialized for Olken's access
+// pattern: keys (timestamps) are inserted in strictly increasing order
+// and deleted in arbitrary order, and the only query is "how many live
+// keys exceed k". Instead of a balanced tree of pointers, it keeps the
+// keys in append-only blocks of contiguous memory with per-key liveness
+// bitmaps and a Fenwick tree over per-block live counts:
+//
+//   - InsertMax appends to the last block: O(1) amortized;
+//   - Delete finds the block by binary search (blocks cover disjoint,
+//     increasing key ranges), clears one bitmap bit: O(log B);
+//   - CountGreater sums a Fenwick suffix plus one in-block popcount
+//     scan: O(log B + block/64).
+//
+// Tombstones are reclaimed by a global rebuild when they outnumber live
+// keys, so memory stays O(live). Compared to the treap this trades
+// pointer chasing for sequential popcounts, which is ~10x faster on
+// large live sets; the treap remains as a reference implementation and
+// the two are property-tested against each other.
+type osList struct {
+	blocks []osBlock
+	fen    []uint64 // Fenwick tree over blocks' live counts (1-based)
+	live   uint64
+	dead   uint64
+}
+
+const osBlockKeys = 256 // keys per block; 4 bitmap words
+
+type osBlock struct {
+	keys  []uint64 // ascending; append-only until rebuild
+	alive [osBlockKeys / 64]uint64
+	n     uint32 // live keys
+}
+
+func newOSList() *osList {
+	return &osList{}
+}
+
+// Len returns the number of live keys.
+func (l *osList) Len() int { return int(l.live) }
+
+// StateBytes approximates the heap bytes held by the structure.
+func (l *osList) StateBytes() uint64 {
+	var b uint64
+	for i := range l.blocks {
+		b += uint64(cap(l.blocks[i].keys))*8 + osBlockKeys/8 + 4
+	}
+	return b + uint64(cap(l.fen))*8
+}
+
+// fenwick helpers (1-based indexing over blocks).
+
+func (l *osList) fenAdd(i int, delta int64) {
+	for i++; i < len(l.fen); i += i & -i {
+		l.fen[i] = uint64(int64(l.fen[i]) + delta)
+	}
+}
+
+// fenSum returns the total live count of blocks[0:i].
+func (l *osList) fenSum(i int) uint64 {
+	var s uint64
+	for ; i > 0; i -= i & -i {
+		s += l.fen[i]
+	}
+	return s
+}
+
+// InsertMax appends a key strictly greater than every key ever inserted.
+func (l *osList) InsertMax(key uint64) {
+	nb := len(l.blocks)
+	if nb == 0 || len(l.blocks[nb-1].keys) >= osBlockKeys {
+		l.blocks = append(l.blocks, osBlock{keys: make([]uint64, 0, osBlockKeys)})
+		nb++
+		l.growFen()
+	}
+	b := &l.blocks[nb-1]
+	i := len(b.keys)
+	b.keys = append(b.keys, key)
+	b.alive[i/64] |= 1 << (i % 64)
+	b.n++
+	l.live++
+	l.fenAdd(nb-1, 1)
+}
+
+func (l *osList) growFen() {
+	need := len(l.blocks) + 1
+	if need <= len(l.fen) {
+		return
+	}
+	// Rebuild the Fenwick array (rare: once per new block).
+	fen := make([]uint64, need*2)
+	for bi := range l.blocks {
+		i := bi + 1
+		for ; i < len(fen); i += i & -i {
+			fen[i] += uint64(l.blocks[bi].n)
+			break
+		}
+	}
+	// Recompute properly from scratch: O(blocks log blocks) but only on
+	// growth, amortized away by doubling.
+	for i := range fen {
+		fen[i] = 0
+	}
+	l.fen = fen
+	for bi := range l.blocks {
+		l.fenAdd(bi, int64(l.blocks[bi].n))
+	}
+}
+
+// findBlock returns the index of the block whose key range contains key,
+// or -1 if no block can contain it.
+func (l *osList) findBlock(key uint64) int {
+	lo, hi := 0, len(l.blocks)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		b := &l.blocks[mid]
+		if len(b.keys) == 0 || b.keys[len(b.keys)-1] < key {
+			lo = mid + 1
+		} else if b.keys[0] > key {
+			hi = mid - 1
+		} else {
+			return mid
+		}
+	}
+	return -1
+}
+
+// Delete removes key if present and live, reporting whether it was.
+func (l *osList) Delete(key uint64) bool {
+	bi := l.findBlock(key)
+	if bi < 0 {
+		return false
+	}
+	b := &l.blocks[bi]
+	// Binary search within the block.
+	lo, hi := 0, len(b.keys)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case b.keys[mid] < key:
+			lo = mid + 1
+		case b.keys[mid] > key:
+			hi = mid - 1
+		default:
+			mask := uint64(1) << (mid % 64)
+			if b.alive[mid/64]&mask == 0 {
+				return false
+			}
+			b.alive[mid/64] &^= mask
+			b.n--
+			l.live--
+			l.dead++
+			l.fenAdd(bi, -1)
+			if l.dead > l.live+osBlockKeys {
+				l.rebuild()
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// CountGreater returns the number of live keys strictly greater than key.
+func (l *osList) CountGreater(key uint64) uint64 {
+	if len(l.blocks) == 0 {
+		return 0
+	}
+	bi := l.findBlock(key)
+	if bi < 0 {
+		// key is outside every block's range: either before the first
+		// live range or after the last.
+		last := &l.blocks[len(l.blocks)-1]
+		if len(last.keys) > 0 && key >= last.keys[len(last.keys)-1] {
+			return 0
+		}
+		// Before some block: count all blocks starting after key.
+		lo, hi := 0, len(l.blocks)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			b := &l.blocks[mid]
+			if len(b.keys) == 0 || b.keys[len(b.keys)-1] <= key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return l.live - l.fenSum(lo)
+	}
+	// Suffix beyond block bi, plus live keys > key within block bi.
+	count := l.live - l.fenSum(bi+1)
+	b := &l.blocks[bi]
+	// First index with keys[idx] > key.
+	lo, hi := 0, len(b.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Popcount the alive bits at positions >= lo.
+	w := lo / 64
+	if w < len(b.alive) {
+		first := b.alive[w] >> (lo % 64)
+		count += uint64(bits.OnesCount64(first))
+		for w++; w < len(b.alive); w++ {
+			count += uint64(bits.OnesCount64(b.alive[w]))
+		}
+	}
+	return count
+}
+
+// CountGreaterAndDelete combines CountGreater(key) with Delete(key),
+// sharing the block lookup — Olken performs exactly this pair on every
+// reuse, and the lookup dominates the cost.
+func (l *osList) CountGreaterAndDelete(key uint64) (uint64, bool) {
+	bi := l.findBlock(key)
+	if bi < 0 {
+		return l.CountGreater(key), false
+	}
+	b := &l.blocks[bi]
+	lo, hi := 0, len(b.keys)-1
+	idx := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case b.keys[mid] < key:
+			lo = mid + 1
+		case b.keys[mid] > key:
+			hi = mid - 1
+		default:
+			idx = mid
+			lo = mid + 1
+			hi = -2 // break
+		}
+	}
+	// Count live keys strictly greater than key: suffix blocks plus the
+	// in-block tail after idx (or after the insertion point).
+	tail := idx
+	if tail < 0 {
+		tail = lo - 1
+	}
+	count := l.live - l.fenSum(bi+1)
+	w := (tail + 1) / 64
+	if w < len(b.alive) {
+		first := b.alive[w] >> ((tail + 1) % 64)
+		count += uint64(bits.OnesCount64(first))
+		for w++; w < len(b.alive); w++ {
+			count += uint64(bits.OnesCount64(b.alive[w]))
+		}
+	}
+	if idx < 0 {
+		return count, false
+	}
+	mask := uint64(1) << (idx % 64)
+	if b.alive[idx/64]&mask == 0 {
+		return count, false
+	}
+	b.alive[idx/64] &^= mask
+	b.n--
+	l.live--
+	l.dead++
+	l.fenAdd(bi, -1)
+	if l.dead > l.live+osBlockKeys {
+		l.rebuild()
+	}
+	return count, true
+}
+
+// rebuild compacts live keys into fresh full blocks, discarding
+// tombstones. Amortized O(1) per delete.
+func (l *osList) rebuild() {
+	fresh := make([]osBlock, 0, int(l.live)/osBlockKeys+1)
+	var cur *osBlock
+	for bi := range l.blocks {
+		b := &l.blocks[bi]
+		for i, k := range b.keys {
+			if b.alive[i/64]&(1<<(i%64)) == 0 {
+				continue
+			}
+			if cur == nil || len(cur.keys) >= osBlockKeys {
+				fresh = append(fresh, osBlock{keys: make([]uint64, 0, osBlockKeys)})
+				cur = &fresh[len(fresh)-1]
+			}
+			j := len(cur.keys)
+			cur.keys = append(cur.keys, k)
+			cur.alive[j/64] |= 1 << (j % 64)
+			cur.n++
+		}
+	}
+	l.blocks = fresh
+	l.dead = 0
+	l.fen = nil
+	l.growFen()
+}

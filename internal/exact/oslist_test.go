@@ -1,0 +1,141 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestOSListBasics(t *testing.T) {
+	l := newOSList()
+	for i := uint64(1); i <= 1000; i++ {
+		l.InsertMax(i)
+	}
+	if l.Len() != 1000 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := l.CountGreater(500); got != 500 {
+		t.Errorf("CountGreater(500) = %d, want 500", got)
+	}
+	if got := l.CountGreater(0); got != 1000 {
+		t.Errorf("CountGreater(0) = %d, want 1000", got)
+	}
+	if got := l.CountGreater(1000); got != 0 {
+		t.Errorf("CountGreater(1000) = %d, want 0", got)
+	}
+	if !l.Delete(500) {
+		t.Error("Delete(500) not found")
+	}
+	if l.Delete(500) {
+		t.Error("double Delete(500) found")
+	}
+	if got := l.CountGreater(499); got != 500 {
+		t.Errorf("CountGreater(499) after delete = %d, want 500", got)
+	}
+	if l.Len() != 999 {
+		t.Errorf("Len after delete = %d", l.Len())
+	}
+}
+
+func TestOSListRebuildReclaimsMemory(t *testing.T) {
+	l := newOSList()
+	const n = 100000
+	for i := uint64(1); i <= n; i++ {
+		l.InsertMax(i)
+		if i > 64 {
+			l.Delete(i - 64)
+		}
+	}
+	if l.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", l.Len())
+	}
+	// Live set is 64; storage must be far below the 100K inserts.
+	if l.StateBytes() > 64*1024 {
+		t.Errorf("StateBytes = %d after rebuilds, want small", l.StateBytes())
+	}
+}
+
+// TestOSListMatchesTreap drives both implementations with the same
+// random Olken-like workload and checks every query result agrees.
+func TestOSListMatchesTreap(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		l := newOSList()
+		tr := newOrderTreap(seed ^ 1)
+		live := []uint64{}
+		next := uint64(1)
+		for op := 0; op < 2000; op++ {
+			switch {
+			case len(live) == 0 || rng.Float64() < 0.5:
+				l.InsertMax(next)
+				tr.Insert(next)
+				live = append(live, next)
+				next += 1 + rng.Uint64n(3)
+			default:
+				i := rng.Intn(len(live))
+				k := live[i]
+				live = append(live[:i], live[i+1:]...)
+				if l.Delete(k) != tr.Delete(k) {
+					return false
+				}
+			}
+			q := rng.Uint64n(next + 2)
+			if l.CountGreater(q) != tr.CountGreater(q) {
+				return false
+			}
+			if uint64(l.Len()) != uint64(tr.Len()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOSListOlkenPattern(b *testing.B) {
+	l := newOSList()
+	rng := stats.NewRNG(1)
+	// Steady-state live set of ~1M keys, like a big-footprint workload.
+	keys := make([]uint64, 0, 1<<20)
+	next := uint64(1)
+	for i := 0; i < 1<<20; i++ {
+		l.InsertMax(next)
+		keys = append(keys, next)
+		next++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := rng.Intn(len(keys))
+		old := keys[j]
+		l.CountGreater(old)
+		l.Delete(old)
+		l.InsertMax(next)
+		keys[j] = next
+		next++
+	}
+}
+
+func BenchmarkTreapOlkenPattern(b *testing.B) {
+	tr := newOrderTreap(1)
+	rng := stats.NewRNG(1)
+	keys := make([]uint64, 0, 1<<20)
+	next := uint64(1)
+	for i := 0; i < 1<<20; i++ {
+		tr.Insert(next)
+		keys = append(keys, next)
+		next++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := rng.Intn(len(keys))
+		old := keys[j]
+		tr.CountGreater(old)
+		tr.Delete(old)
+		tr.Insert(next)
+		keys[j] = next
+		next++
+	}
+}

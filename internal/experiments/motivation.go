@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// T1Row is one workload's exhaustive-measurement cost (experiment T1).
+type T1Row struct {
+	Workload       string
+	Slowdown       float64 // exhaustive runtime / native runtime
+	NativeMB       float64 // application footprint
+	ProfilerMB     float64 // Olken-tree + hash state
+	MemOverheadPct float64 // profiler state / application footprint
+}
+
+// T1Result is experiment T1: the motivation table showing that
+// exhaustive (instrumentation-based) reuse-distance measurement is
+// orders of magnitude more expensive than native execution.
+type T1Result struct {
+	Rows         []T1Row
+	GeoSlowdown  float64
+	MeanMemPct   float64
+	WorstMemPct  float64
+	WorstMemName string
+}
+
+// RunT1 measures the exhaustive baseline's time and memory overhead on
+// the full suite.
+func (o Options) RunT1() (*T1Result, error) {
+	res := &T1Result{}
+	var slowdowns, memPcts []float64
+	for _, w := range workloads.Suite() {
+		gt, account, err := o.runExact(w.Name)
+		if err != nil {
+			return nil, err
+		}
+		appBytes := appFootprintBytes(w.Name)
+		row := T1Row{
+			Workload:       w.Name,
+			Slowdown:       account.Slowdown(),
+			NativeMB:       float64(appBytes) / (1 << 20),
+			ProfilerMB:     float64(gt.StateBytes()) / (1 << 20),
+			MemOverheadPct: 100 * float64(gt.StateBytes()) / float64(appBytes),
+		}
+		res.Rows = append(res.Rows, row)
+		slowdowns = append(slowdowns, row.Slowdown)
+		memPcts = append(memPcts, row.MemOverheadPct)
+		if row.MemOverheadPct > res.WorstMemPct {
+			res.WorstMemPct = row.MemOverheadPct
+			res.WorstMemName = w.Name
+		}
+	}
+	res.GeoSlowdown = stats.GeoMean(slowdowns)
+	res.MeanMemPct = stats.Mean(memPcts)
+
+	tb := report.NewTable("T1: exhaustive (Olken) measurement cost",
+		"workload", "slowdown", "app MiB", "profiler MiB", "mem ovh %")
+	for _, r := range res.Rows {
+		tb.AddRow(r.Workload, r.Slowdown, r.NativeMB, r.ProfilerMB, r.MemOverheadPct)
+	}
+	tb.AddRow("geomean/mean", res.GeoSlowdown, "", "", res.MeanMemPct)
+	if err := tb.WriteText(o.out()); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

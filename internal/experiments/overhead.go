@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// F4Row is one workload's RDX time overhead.
+type F4Row struct {
+	Workload    string
+	OverheadPct float64
+	Samples     uint64
+	Traps       uint64
+}
+
+// F4Result is experiment F4: RDX's modelled time overhead across the
+// suite at the default period. The paper reports ~5% typical overhead.
+type F4Result struct {
+	Rows        []F4Row
+	GeoSlowdown float64 // geometric-mean slowdown (1.05 = 5% overhead)
+	MeanPct     float64
+	MaxPct      float64
+	MaxWorkload string
+}
+
+// RunF4 measures RDX time overhead on every workload.
+func (o Options) RunF4() (*F4Result, error) {
+	res := &F4Result{}
+	var slowdowns, pcts []float64
+	for _, w := range workloads.Suite() {
+		rdx, err := o.runRDX(w.Name, o.rdxConfig())
+		if err != nil {
+			return nil, err
+		}
+		row := F4Row{
+			Workload:    w.Name,
+			OverheadPct: 100 * rdx.TimeOverhead(),
+			Samples:     rdx.Samples,
+			Traps:       rdx.Traps,
+		}
+		res.Rows = append(res.Rows, row)
+		slowdowns = append(slowdowns, 1+rdx.TimeOverhead())
+		pcts = append(pcts, row.OverheadPct)
+		if row.OverheadPct > res.MaxPct {
+			res.MaxPct = row.OverheadPct
+			res.MaxWorkload = w.Name
+		}
+	}
+	res.GeoSlowdown = stats.GeoMean(slowdowns)
+	res.MeanPct = stats.Mean(pcts)
+
+	tb := report.NewTable("F4: RDX time overhead",
+		"workload", "overhead %", "samples", "traps")
+	for _, r := range res.Rows {
+		tb.AddRow(r.Workload, r.OverheadPct, r.Samples, r.Traps)
+	}
+	tb.AddRow("mean", res.MeanPct, "", "")
+	if err := tb.WriteText(o.out()); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// F5Row is one workload's RDX memory overhead.
+type F5Row struct {
+	Workload    string
+	AppMB       float64
+	RDXMB       float64
+	OverheadPct float64
+}
+
+// F5Result is experiment F5: RDX's memory overhead relative to the
+// application footprint. The paper reports ~7% typical overhead —
+// dominated by fixed runtime state (perf buffers), not per-sample data,
+// so small-footprint programs see larger percentages.
+type F5Result struct {
+	Rows    []F5Row
+	MeanPct float64
+}
+
+// RunF5 measures RDX memory overhead on every workload.
+func (o Options) RunF5() (*F5Result, error) {
+	res := &F5Result{}
+	var pcts []float64
+	for _, w := range workloads.Suite() {
+		rdx, err := o.runRDX(w.Name, o.rdxConfig())
+		if err != nil {
+			return nil, err
+		}
+		appBytes := appFootprintBytes(w.Name)
+		row := F5Row{
+			Workload:    w.Name,
+			AppMB:       float64(appBytes) / (1 << 20),
+			RDXMB:       float64(rdx.StateBytes) / (1 << 20),
+			OverheadPct: 100 * rdx.MemOverhead(appBytes),
+		}
+		res.Rows = append(res.Rows, row)
+		pcts = append(pcts, row.OverheadPct)
+	}
+	res.MeanPct = stats.Mean(pcts)
+
+	tb := report.NewTable("F5: RDX memory overhead",
+		"workload", "app MiB", "RDX MiB", "overhead %")
+	for _, r := range res.Rows {
+		tb.AddRow(r.Workload, r.AppMB, r.RDXMB, r.OverheadPct)
+	}
+	tb.AddRow("mean", "", "", res.MeanPct)
+	if err := tb.WriteText(o.out()); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// A3Point is one cost-multiplier measurement.
+type A3Point struct {
+	Multiplier  float64
+	RDXPct      float64 // RDX mean overhead under scaled costs
+	ExactGeo    float64 // exhaustive geomean slowdown under scaled costs
+	StillLight  bool    // RDX stays under 4x the base overhead
+	StillHeavy  bool    // exhaustive stays >= 10x slowdown
+	ShapeIntact bool    // RDX light && exhaustive heavy
+}
+
+// A3Result is ablation A3: robustness of the overhead story to the cycle
+// calibration. The headline — RDX featherlight, exhaustive heavyweight —
+// must survive scaling every profiling cost from ¼× to 4×.
+type A3Result struct {
+	Points []A3Point
+}
+
+// RunA3 sweeps the profiling-cost calibration.
+func (o Options) RunA3() (*A3Result, error) {
+	res := &A3Result{}
+	tb := report.NewTable("A3: cost-calibration sensitivity",
+		"cost x", "RDX mean ovh %", "exact geo slowdown", "shape intact")
+	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
+		costs := cpumodel.Default().Scaled(mult)
+		var rdxPcts, exSlow []float64
+		for _, name := range representative {
+			r, err := o.buildWorkload(name)
+			if err != nil {
+				return nil, err
+			}
+			p, err := core.NewProfiler(o.rdxConfig())
+			if err != nil {
+				return nil, err
+			}
+			rr, err := p.Run(r, costs)
+			if err != nil {
+				return nil, err
+			}
+			rdxPcts = append(rdxPcts, 100*rr.TimeOverhead())
+
+			// Recompute the exhaustive account under the scaled costs.
+			_, account, err := o.runExact(name)
+			if err != nil {
+				return nil, err
+			}
+			account.Costs = costs
+			exSlow = append(exSlow, account.Slowdown())
+		}
+		pt := A3Point{
+			Multiplier: mult,
+			RDXPct:     stats.Mean(rdxPcts),
+			ExactGeo:   stats.GeoMean(exSlow),
+		}
+		pt.StillLight = pt.RDXPct < 25
+		pt.StillHeavy = pt.ExactGeo >= 5
+		pt.ShapeIntact = pt.StillLight && pt.StillHeavy
+		res.Points = append(res.Points, pt)
+		tb.AddRow(mult, pt.RDXPct, pt.ExactGeo, pt.ShapeIntact)
+	}
+	if err := tb.WriteText(o.out()); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

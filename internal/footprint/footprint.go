@@ -1,0 +1,230 @@
+// Package footprint implements the locality theory RDX uses to convert
+// measured reuse *times* into reuse *distances*.
+//
+// A watchpoint gives RDX the reuse time T of a sampled block — the
+// number of accesses executed between use and reuse — but the metric of
+// interest is the reuse distance: the number of *distinct* blocks touched
+// in that window. The bridge is the average footprint function fp(w),
+// the expected number of distinct blocks touched in a window of w
+// consecutive accesses (Xiang et al.'s footprint theory): the expected
+// reuse distance of a reuse with time T is fp(T) computed over the
+// window between the two accesses.
+//
+// fp itself is estimated from the same reuse-time samples, using the
+// window-counting identity
+//
+//	fp(w) ≈ E over accesses t of min(gap_t, w)
+//
+// where gap_t is the backward reuse time of access t (∞ for a first
+// touch): an access is the first occurrence of its block in exactly
+// min(gap_t, w) of the w-windows that contain it, so averaging over
+// window positions and over accesses coincide for stationary streams
+// (trace-boundary effects are negligible for w ≪ n). With uniform
+// access sampling the expectation is estimated directly from the
+// sampled reuse times.
+package footprint
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/histogram"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Estimator evaluates the average footprint function fp(w) from a set of
+// sampled backward reuse times. It is built once from the samples and
+// evaluated in O(log s).
+type Estimator struct {
+	times  []uint64  // sorted finite sampled reuse times
+	prefix []float64 // prefix[i] = weighted sum of times[:i]
+	cold   float64   // weight of cold samples (gap = ∞)
+	weight float64   // weight each sample represents (sampling period)
+	n      float64   // total accesses in the run
+
+	// weights/wprefix support the weighted (histogram-derived)
+	// construction; when nil every sample has weight 1.
+	weights []float64
+	wprefix []float64
+}
+
+// NewEstimator builds a footprint estimator.
+//
+//	times:  the finite sampled reuse times (one per reuse pair observed);
+//	cold:   how many samples were never reused (infinite gap);
+//	weight: the number of accesses each sample represents (the sampling
+//	        period; use 1 for exhaustive measurement);
+//	n:      the total number of accesses in the run.
+func NewEstimator(times []uint64, cold uint64, weight float64, n uint64) *Estimator {
+	sorted := append([]uint64(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	prefix := make([]float64, len(sorted)+1)
+	for i, t := range sorted {
+		prefix[i+1] = prefix[i] + float64(t)
+	}
+	return &Estimator{
+		times:  sorted,
+		prefix: prefix,
+		cold:   float64(cold),
+		weight: weight,
+		n:      float64(n),
+	}
+}
+
+// NewWeightedEstimator builds an estimator from per-sample weights, for
+// callers whose samples are not equally representative (e.g. RDX's
+// survival-corrected observations). times[i] carries weights[i]; cold is
+// the total weight of never-reused samples; n is the run length in
+// accesses.
+func NewWeightedEstimator(times []uint64, weights []float64, cold float64, n uint64) *Estimator {
+	if len(times) != len(weights) {
+		panic("footprint: times/weights length mismatch")
+	}
+	idx := make([]int, len(times))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return times[idx[i]] < times[idx[j]] })
+	e := &Estimator{weight: 1, n: float64(n), cold: cold}
+	e.times = make([]uint64, len(times))
+	e.prefix = make([]float64, len(times)+1)
+	e.weights = make([]float64, len(times))
+	e.wprefix = make([]float64, len(times)+1)
+	for i, k := range idx {
+		e.times[i] = times[k]
+		e.weights[i] = weights[k]
+		e.prefix[i+1] = e.prefix[i] + float64(times[k])*weights[k]
+		e.wprefix[i+1] = e.wprefix[i] + weights[k]
+	}
+	return e
+}
+
+// NewEstimatorFromHistogram builds an estimator from a reuse-time
+// histogram (using each bucket's geometric midpoint), for callers that
+// retained only the histogram. hist weights must already incorporate the
+// sampling period; pass weight 1.
+func NewEstimatorFromHistogram(hist *histogram.Histogram, n uint64) *Estimator {
+	var times []uint64
+	var prefixWeights []float64
+	for b := 0; b < hist.NumBuckets(); b++ {
+		w := hist.Weight(b)
+		if w <= 0 {
+			continue
+		}
+		mid := uint64(math.Round(math.Sqrt(float64(histogram.BucketLow(b)) * (float64(histogram.BucketHigh(b)) + 1))))
+		if b == 0 {
+			mid = 0
+		}
+		times = append(times, mid)
+		prefixWeights = append(prefixWeights, w)
+	}
+	// Weighted variant: expand via parallel weights array.
+	e := &Estimator{weight: 1, n: float64(n), cold: hist.Cold()}
+	idx := make([]int, len(times))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return times[idx[i]] < times[idx[j]] })
+	e.times = make([]uint64, len(times))
+	e.prefix = make([]float64, len(times)+1)
+	e.weights = make([]float64, len(times))
+	e.wprefix = make([]float64, len(times)+1)
+	for i, k := range idx {
+		e.times[i] = times[k]
+		e.weights[i] = prefixWeights[k]
+		e.prefix[i+1] = e.prefix[i] + float64(times[k])*prefixWeights[k]
+		e.wprefix[i+1] = e.wprefix[i] + prefixWeights[k]
+	}
+	return e
+}
+
+func (e *Estimator) countAndSumBelow(w uint64) (count, sum float64) {
+	i := sort.Search(len(e.times), func(k int) bool { return e.times[k] > w })
+	if e.weights == nil {
+		return float64(i), e.prefix[i]
+	}
+	return e.wprefix[i], e.prefix[i]
+}
+
+func (e *Estimator) totalSamples() float64 {
+	if e.weights == nil {
+		return float64(len(e.times)) + e.cold
+	}
+	return e.wprefix[len(e.times)] + e.cold
+}
+
+// Footprint estimates fp(w), the expected number of distinct blocks in a
+// window of w consecutive accesses.
+func (e *Estimator) Footprint(w uint64) float64 {
+	if w == 0 {
+		return 0
+	}
+	total := e.totalSamples()
+	if total == 0 {
+		return 0
+	}
+	// fp(w) = E[min(gap, w)] over accesses; cold samples contribute w.
+	//
+	// This per-access expectation equals the average window footprint for
+	// stationary access processes: an access is the first occurrence of
+	// its block in exactly min(gap, w) of the windows containing it. For
+	// i.i.d. uniform accesses over M blocks (geometric gaps) it
+	// reproduces the classical M·(1−(1−1/M)^w) exactly, and for a cyclic
+	// sweep of K blocks it gives min(w, K) exactly.
+	cntBelow, sumBelow := e.countAndSumBelow(w)
+	above := total - cntBelow
+	fp := (sumBelow + above*float64(w)) / total
+	if fp < 1 {
+		// Any non-empty window holds at least one block.
+		fp = 1
+	}
+	return fp
+}
+
+// Distance converts a reuse time T into an expected reuse distance: the
+// distinct blocks in the (T−1)-access window strictly between use and
+// reuse. A reuse time of 1 (back-to-back accesses) has distance 0.
+func (e *Estimator) Distance(t uint64) uint64 {
+	if t <= 1 {
+		return 0
+	}
+	fp := e.Footprint(t - 1)
+	if fp < 0 {
+		return 0
+	}
+	return uint64(math.Round(fp))
+}
+
+// ExactAverageFootprint computes the true average footprint fp(w) of a
+// trace by sliding a w-access window across it (O(n) time, O(footprint)
+// space), for validating the estimator. The trace must have at least w
+// accesses.
+func ExactAverageFootprint(accs []mem.Access, g mem.Granularity, w int) (float64, error) {
+	n := len(accs)
+	if w <= 0 || w > n {
+		return 0, trace.ErrShortTrace
+	}
+	counts := make(map[mem.Addr]int, 1024)
+	distinct := 0
+	var sum uint64
+	for i, a := range accs {
+		b := g.Block(a.Addr)
+		if counts[b] == 0 {
+			distinct++
+		}
+		counts[b]++
+		if i >= w {
+			old := g.Block(accs[i-w].Addr)
+			counts[old]--
+			if counts[old] == 0 {
+				distinct--
+				delete(counts, old)
+			}
+		}
+		if i >= w-1 {
+			sum += uint64(distinct)
+		}
+	}
+	return float64(sum) / float64(n-w+1), nil
+}

@@ -1,0 +1,234 @@
+package footprint
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/histogram"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// backwardGaps computes per-access backward reuse times of a trace (the
+// exhaustive version of what RDX samples), with cold accesses counted
+// separately.
+func backwardGaps(accs []mem.Access, g mem.Granularity) (times []uint64, cold uint64) {
+	last := map[mem.Addr]int{}
+	for i, a := range accs {
+		b := g.Block(a.Addr)
+		if prev, ok := last[b]; ok {
+			times = append(times, uint64(i-prev))
+		} else {
+			cold++
+		}
+		last[b] = i
+	}
+	return times, cold
+}
+
+func collect(t *testing.T, r trace.Reader) []mem.Access {
+	t.Helper()
+	accs, err := trace.Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return accs
+}
+
+func TestExactAverageFootprintCyclic(t *testing.T) {
+	// Cyclic over K blocks: any window of w <= K accesses holds exactly
+	// w distinct blocks.
+	const k, n = 16, 1600
+	accs := collect(t, trace.Cyclic(0, k, n))
+	for _, w := range []int{1, 2, 8, 15, 16} {
+		fp, err := ExactAverageFootprint(accs, mem.WordGranularity, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fp-float64(w)) > 1e-9 {
+			t.Errorf("cyclic fp(%d) = %v, want %v", w, fp, w)
+		}
+	}
+	// Windows longer than the working set saturate at K.
+	fp, err := ExactAverageFootprint(accs, mem.WordGranularity, 10*k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fp-k) > 1e-9 {
+		t.Errorf("cyclic fp(%d) = %v, want %v", 10*k, fp, k)
+	}
+}
+
+func TestExactAverageFootprintErrors(t *testing.T) {
+	accs := collect(t, trace.Cyclic(0, 4, 10))
+	if _, err := ExactAverageFootprint(accs, mem.WordGranularity, 0); err == nil {
+		t.Error("w=0 accepted")
+	}
+	if _, err := ExactAverageFootprint(accs, mem.WordGranularity, 11); err == nil {
+		t.Error("w > n accepted")
+	}
+}
+
+func TestEstimatorMatchesExactOnCyclic(t *testing.T) {
+	const k, n = 64, 64000
+	accs := collect(t, trace.Cyclic(0, k, n))
+	times, cold := backwardGaps(accs, mem.WordGranularity)
+	est := NewEstimator(times, cold, 1, uint64(len(accs)))
+	for _, w := range []uint64{1, 4, 16, 63, 64, 256} {
+		exact, err := ExactAverageFootprint(accs, mem.WordGranularity, int(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := est.Footprint(w)
+		if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+			t.Errorf("fp(%d): estimator %v vs exact %v (rel err %.3f)", w, got, exact, rel)
+		}
+	}
+}
+
+func TestEstimatorMatchesExactOnRandom(t *testing.T) {
+	const blocks, n = 256, 200000
+	accs := collect(t, trace.RandomUniform(7, 0, blocks, n))
+	times, cold := backwardGaps(accs, mem.WordGranularity)
+	est := NewEstimator(times, cold, 1, uint64(len(accs)))
+	for _, w := range []uint64{1, 10, 100, 1000, 4000} {
+		exact, err := ExactAverageFootprint(accs, mem.WordGranularity, int(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := est.Footprint(w)
+		if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+			t.Errorf("fp(%d): estimator %v vs exact %v (rel err %.3f)", w, got, exact, rel)
+		}
+	}
+}
+
+func TestEstimatorMatchesExactOnZipf(t *testing.T) {
+	const blocks, n = 512, 200000
+	accs := collect(t, trace.ZipfAccess(3, 0, blocks, 1.0, n))
+	times, cold := backwardGaps(accs, mem.WordGranularity)
+	est := NewEstimator(times, cold, 1, uint64(len(accs)))
+	for _, w := range []uint64{10, 100, 1000} {
+		exact, err := ExactAverageFootprint(accs, mem.WordGranularity, int(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := est.Footprint(w)
+		if rel := math.Abs(got-exact) / exact; rel > 0.08 {
+			t.Errorf("fp(%d): estimator %v vs exact %v (rel err %.3f)", w, got, exact, rel)
+		}
+	}
+}
+
+func TestFootprintMonotone(t *testing.T) {
+	const blocks, n = 128, 50000
+	accs := collect(t, trace.ZipfAccess(11, 0, blocks, 0.9, n))
+	times, cold := backwardGaps(accs, mem.WordGranularity)
+	est := NewEstimator(times, cold, 1, uint64(len(accs)))
+	prev := 0.0
+	for w := uint64(1); w <= 4096; w *= 2 {
+		fp := est.Footprint(w)
+		if fp+1e-9 < prev {
+			t.Errorf("footprint not monotone: fp(%d)=%v < fp(%d)=%v", w, fp, w/2, prev)
+		}
+		prev = fp
+	}
+}
+
+func TestFootprintEdgeCases(t *testing.T) {
+	est := NewEstimator(nil, 0, 1, 0)
+	if got := est.Footprint(10); got != 0 {
+		t.Errorf("empty estimator fp = %v", got)
+	}
+	if got := est.Footprint(0); got != 0 {
+		t.Errorf("fp(0) = %v", got)
+	}
+	// All-cold samples: fp(w) ≈ w (every access a new block).
+	est = NewEstimator(nil, 100, 1, 10000)
+	got := est.Footprint(50)
+	if math.Abs(got-50) > 1 {
+		t.Errorf("all-cold fp(50) = %v, want ~50", got)
+	}
+}
+
+func TestDistanceConversion(t *testing.T) {
+	// Cyclic over K: reuse time K should convert to distance ~K-1.
+	const k, n = 32, 32000
+	accs := collect(t, trace.Cyclic(0, k, n))
+	times, cold := backwardGaps(accs, mem.WordGranularity)
+	est := NewEstimator(times, cold, 1, uint64(len(accs)))
+	if got := est.Distance(k); got < k-2 || got > k {
+		t.Errorf("Distance(%d) = %d, want ~%d", k, got, k-1)
+	}
+	if got := est.Distance(0); got != 0 {
+		t.Errorf("Distance(0) = %d", got)
+	}
+	if got := est.Distance(1); got != 0 {
+		t.Errorf("Distance(1) = %d, want 0 (back-to-back reuse)", got)
+	}
+}
+
+func TestEstimatorFromHistogramAgrees(t *testing.T) {
+	const blocks, n = 256, 100000
+	accs := collect(t, trace.RandomUniform(5, 0, blocks, n))
+	times, cold := backwardGaps(accs, mem.WordGranularity)
+
+	hist := histogram.New()
+	for _, tm := range times {
+		hist.Add(tm, 1)
+	}
+	for i := uint64(0); i < cold; i++ {
+		hist.Add(histogram.Infinite, 1)
+	}
+
+	exactEst := NewEstimator(times, cold, 1, uint64(len(accs)))
+	histEst := NewEstimatorFromHistogram(hist, uint64(len(accs)))
+	for _, w := range []uint64{10, 100, 1000} {
+		a, b := exactEst.Footprint(w), histEst.Footprint(w)
+		if rel := math.Abs(a-b) / a; rel > 0.25 {
+			t.Errorf("fp(%d): sample-based %v vs histogram-based %v (rel err %.3f)", w, a, b, rel)
+		}
+	}
+}
+
+func TestWeightedEstimatorMatchesUniformWeights(t *testing.T) {
+	const blocks, n = 256, 100000
+	accs := collect(t, trace.RandomUniform(9, 0, blocks, n))
+	times, cold := backwardGaps(accs, mem.WordGranularity)
+	uniform := NewEstimator(times, cold, 1, uint64(len(accs)))
+	w := make([]float64, len(times))
+	for i := range w {
+		w[i] = 1
+	}
+	weighted := NewWeightedEstimator(times, w, float64(cold), uint64(len(accs)))
+	for _, win := range []uint64{1, 10, 100, 1000} {
+		a, b := uniform.Footprint(win), weighted.Footprint(win)
+		if math.Abs(a-b) > 1e-9 {
+			t.Errorf("fp(%d): uniform %v vs weighted %v", win, a, b)
+		}
+	}
+}
+
+func TestWeightedEstimatorRespectsWeights(t *testing.T) {
+	// Two gap populations; weighting one population up must pull the
+	// footprint toward it.
+	times := []uint64{10, 10, 10, 1000, 1000, 1000}
+	flat := NewWeightedEstimator(times, []float64{1, 1, 1, 1, 1, 1}, 0, 100000)
+	shortHeavy := NewWeightedEstimator(times, []float64{10, 10, 10, 1, 1, 1}, 0, 100000)
+	// fp(500): flat = (3*10 + 3*500)/6 = 255; short-heavy = (30*10+3*500)/33 ≈ 54.5
+	if f := flat.Footprint(500); math.Abs(f-255) > 1e-9 {
+		t.Errorf("flat fp(500) = %v, want 255", f)
+	}
+	if f := shortHeavy.Footprint(500); math.Abs(f-1800.0/33.0) > 1e-9 {
+		t.Errorf("short-heavy fp(500) = %v, want %v", f, 1800.0/33.0)
+	}
+}
+
+func TestWeightedEstimatorPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	NewWeightedEstimator([]uint64{1, 2}, []float64{1}, 0, 10)
+}

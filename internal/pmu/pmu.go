@@ -1,0 +1,204 @@
+// Package pmu simulates the slice of a commodity CPU's performance
+// monitoring unit that RDX consumes: free-running event counters over
+// memory accesses, and precise overflow-driven sampling that delivers the
+// effective address of the sampled access (the role PEBS/IBS play on real
+// hardware).
+//
+// The simulation reproduces the properties that matter to a sampling
+// profiler built on top of it:
+//
+//   - a counter programmed with period P raises an overflow interrupt on
+//     (approximately) every P-th qualifying access;
+//   - the period can be randomized around P to avoid lock-step resonance
+//     with periodic program behaviour, exactly as production profilers
+//     randomize PEBS periods;
+//   - samples may exhibit "skid": the reported access can trail the
+//     architecturally precise one by a few accesses, modelling imprecise
+//     sampling modes (precise mode sets skid to 0).
+package pmu
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// EventSelect chooses which accesses a counter counts.
+type EventSelect uint8
+
+const (
+	// AllAccesses counts every load and store (MEM_UOPS_RETIRED.ALL-style).
+	AllAccesses EventSelect = iota
+	// LoadsOnly counts retired loads.
+	LoadsOnly
+	// StoresOnly counts retired stores.
+	StoresOnly
+)
+
+// String names the event.
+func (e EventSelect) String() string {
+	switch e {
+	case AllAccesses:
+		return "mem_access"
+	case LoadsOnly:
+		return "mem_load"
+	case StoresOnly:
+		return "mem_store"
+	default:
+		return fmt.Sprintf("EventSelect(%d)", uint8(e))
+	}
+}
+
+func (e EventSelect) matches(a mem.Access) bool {
+	switch e {
+	case LoadsOnly:
+		return a.Kind == mem.Load
+	case StoresOnly:
+		return a.Kind == mem.Store
+	default:
+		return true
+	}
+}
+
+// Sample is the payload delivered to an overflow handler: the effective
+// address of the sampled access and the value of the access counter at
+// delivery time. On real hardware these arrive in the PEBS record and the
+// counter MSR respectively.
+type Sample struct {
+	Access mem.Access
+	// Count is the value of the sampling counter's event count when the
+	// sample was delivered (i.e., the global index of this access among
+	// qualifying accesses).
+	Count uint64
+}
+
+// OverflowHandler is invoked synchronously when a sampling counter
+// overflows. Returning from the handler resumes "execution".
+type OverflowHandler func(Sample)
+
+// Config configures a sampling counter.
+type Config struct {
+	// Event selects which accesses are counted and sampled.
+	Event EventSelect
+	// Period is the mean number of qualifying events between samples.
+	// Zero disables sampling (the counter still counts).
+	Period uint64
+	// Randomize, when true, draws each inter-sample gap uniformly from
+	// [Period/2, 3*Period/2) instead of using the fixed period.
+	Randomize bool
+	// Skid is the maximum number of accesses by which a delivered sample
+	// may trail the access that triggered the overflow. 0 models precise
+	// (PEBS-class) sampling.
+	Skid int
+	// Seed seeds period randomization.
+	Seed uint64
+}
+
+// PMU is a simulated performance monitoring unit with a single
+// programmable sampling counter plus a free-running access counter.
+// It is driven by the CPU core calling Tick for every access.
+type PMU struct {
+	cfg     Config
+	rng     *stats.RNG
+	handler OverflowHandler
+
+	count     uint64 // qualifying events since Reset
+	allCount  uint64 // all accesses since Reset
+	toNext    uint64 // qualifying events remaining until next overflow
+	samples   uint64
+	skidLeft  int  // pending skid countdown, -1 if no sample pending
+	skidArmed bool // an overflow happened, waiting out the skid
+}
+
+// New returns a PMU with the given configuration. The overflow handler
+// may be nil (counting mode).
+func New(cfg Config, handler OverflowHandler) *PMU {
+	p := &PMU{cfg: cfg, rng: stats.NewRNG(cfg.Seed), handler: handler}
+	p.Reset()
+	return p
+}
+
+// Reset clears counters and re-arms the first sampling interval.
+func (p *PMU) Reset() {
+	p.count = 0
+	p.allCount = 0
+	p.samples = 0
+	p.skidArmed = false
+	p.toNext = p.nextGap()
+}
+
+func (p *PMU) nextGap() uint64 {
+	if p.cfg.Period == 0 {
+		return 0
+	}
+	if !p.cfg.Randomize {
+		return p.cfg.Period
+	}
+	half := p.cfg.Period / 2
+	if half == 0 {
+		return 1
+	}
+	return half + p.rng.Uint64n(p.cfg.Period)
+}
+
+// Tick advances the PMU by one executed access. It returns true if an
+// overflow sample was delivered during this tick (used by the core for
+// interrupt cost accounting).
+func (p *PMU) Tick(a mem.Access) bool {
+	p.allCount++
+	if !p.cfg.Event.matches(a) {
+		return false
+	}
+	p.count++
+
+	if p.skidArmed {
+		// A pending overflow is skidding; deliver once the countdown
+		// reaches this access.
+		p.skidLeft--
+		if p.skidLeft > 0 {
+			return false
+		}
+		p.deliver(a)
+		return true
+	}
+
+	if p.cfg.Period == 0 || p.handler == nil {
+		return false
+	}
+	p.toNext--
+	if p.toNext > 0 {
+		return false
+	}
+	// Overflow on this access.
+	if p.cfg.Skid > 0 {
+		p.skidArmed = true
+		p.skidLeft = int(p.rng.Uint64n(uint64(p.cfg.Skid) + 1))
+		if p.skidLeft == 0 {
+			p.deliver(a)
+			return true
+		}
+		return false
+	}
+	p.deliver(a)
+	return true
+}
+
+func (p *PMU) deliver(a mem.Access) {
+	p.skidArmed = false
+	p.samples++
+	p.toNext = p.nextGap()
+	p.handler(Sample{Access: a, Count: p.count})
+}
+
+// Count returns the number of qualifying events observed.
+func (p *PMU) Count() uint64 { return p.count }
+
+// AllCount returns the number of accesses of any kind observed.
+func (p *PMU) AllCount() uint64 { return p.allCount }
+
+// Samples returns the number of overflow samples delivered.
+func (p *PMU) Samples() uint64 { return p.samples }
+
+// Config returns the active configuration.
+func (p *PMU) Config() Config { return p.cfg }

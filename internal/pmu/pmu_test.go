@@ -1,0 +1,198 @@
+package pmu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func load(addr uint64) mem.Access {
+	return mem.Access{Addr: mem.Addr(addr), Size: 8, Kind: mem.Load}
+}
+
+func store(addr uint64) mem.Access {
+	return mem.Access{Addr: mem.Addr(addr), Size: 8, Kind: mem.Store}
+}
+
+func TestCountingMode(t *testing.T) {
+	p := New(Config{Event: AllAccesses}, nil)
+	for i := 0; i < 100; i++ {
+		p.Tick(load(uint64(i)))
+	}
+	if p.Count() != 100 || p.AllCount() != 100 {
+		t.Errorf("count = %d/%d, want 100/100", p.Count(), p.AllCount())
+	}
+	if p.Samples() != 0 {
+		t.Errorf("counting mode delivered %d samples", p.Samples())
+	}
+}
+
+func TestEventSelect(t *testing.T) {
+	p := New(Config{Event: StoresOnly}, nil)
+	p.Tick(load(1))
+	p.Tick(store(2))
+	p.Tick(store(3))
+	if p.Count() != 2 {
+		t.Errorf("stores counted = %d, want 2", p.Count())
+	}
+	if p.AllCount() != 3 {
+		t.Errorf("all counted = %d, want 3", p.AllCount())
+	}
+
+	q := New(Config{Event: LoadsOnly}, nil)
+	q.Tick(load(1))
+	q.Tick(store(2))
+	if q.Count() != 1 {
+		t.Errorf("loads counted = %d, want 1", q.Count())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	if AllAccesses.String() != "mem_access" || LoadsOnly.String() != "mem_load" || StoresOnly.String() != "mem_store" {
+		t.Error("event names wrong")
+	}
+}
+
+func TestFixedPeriodSampling(t *testing.T) {
+	var samples []Sample
+	p := New(Config{Event: AllAccesses, Period: 10}, func(s Sample) {
+		samples = append(samples, s)
+	})
+	for i := 1; i <= 100; i++ {
+		p.Tick(load(uint64(i)))
+	}
+	if len(samples) != 10 {
+		t.Fatalf("samples = %d, want 10", len(samples))
+	}
+	for i, s := range samples {
+		wantCount := uint64((i + 1) * 10)
+		if s.Count != wantCount {
+			t.Errorf("sample %d count = %d, want %d", i, s.Count, wantCount)
+		}
+		if s.Access.Addr != mem.Addr(wantCount) {
+			t.Errorf("sample %d addr = %v, want %v", i, s.Access.Addr, wantCount)
+		}
+	}
+	if p.Samples() != 10 {
+		t.Errorf("Samples() = %d", p.Samples())
+	}
+}
+
+func TestSamplesMatchDeliveredAccess(t *testing.T) {
+	// Precise sampling: the delivered address must be the address of the
+	// access on which the counter overflowed.
+	p := New(Config{Event: AllAccesses, Period: 7}, func(s Sample) {
+		if s.Access.Addr != mem.Addr(s.Count*3) {
+			t.Errorf("sample addr %v does not match access at count %d", s.Access.Addr, s.Count)
+		}
+	})
+	for i := uint64(1); i <= 1000; i++ {
+		p.Tick(load(i * 3))
+	}
+}
+
+func TestRandomizedPeriodStats(t *testing.T) {
+	const period, n = 100, 1000000
+	var counts []uint64
+	p := New(Config{Event: AllAccesses, Period: period, Randomize: true, Seed: 5}, func(s Sample) {
+		counts = append(counts, s.Count)
+	})
+	for i := 0; i < n; i++ {
+		p.Tick(load(uint64(i)))
+	}
+	if len(counts) < 2 {
+		t.Fatal("too few samples")
+	}
+	// Gaps must lie in [P/2, 3P/2) and average ~P.
+	var sum float64
+	prev := uint64(0)
+	distinct := map[uint64]bool{}
+	for _, c := range counts {
+		gap := c - prev
+		prev = c
+		if gap < period/2 || gap >= period*3/2 {
+			t.Fatalf("gap %d outside [%d,%d)", gap, period/2, period*3/2)
+		}
+		distinct[gap] = true
+		sum += float64(gap)
+	}
+	mean := sum / float64(len(counts))
+	if mean < period*0.95 || mean > period*1.05 {
+		t.Errorf("mean gap = %v, want ~%v", mean, period)
+	}
+	if len(distinct) < 10 {
+		t.Errorf("randomized gaps took only %d distinct values", len(distinct))
+	}
+}
+
+func TestSkidDelaysDelivery(t *testing.T) {
+	const period, skid = 50, 4
+	var got []Sample
+	p := New(Config{Event: AllAccesses, Period: period, Skid: skid, Seed: 3}, func(s Sample) {
+		got = append(got, s)
+	})
+	for i := uint64(1); i <= 10000; i++ {
+		p.Tick(load(i))
+	}
+	if len(got) < 2 {
+		t.Fatal("too few samples")
+	}
+	// The counter re-arms at delivery, so consecutive deliveries are
+	// separated by period plus 0..skid accesses of slippage.
+	sawSkid := false
+	prev := got[0].Count
+	for i := 1; i < len(got); i++ {
+		gap := got[i].Count - prev
+		prev = got[i].Count
+		if gap < period || gap > period+skid {
+			t.Errorf("sample %d gap = %d, want in [%d,%d]", i, gap, period, period+skid)
+		}
+		if gap != period {
+			sawSkid = true
+		}
+	}
+	if !sawSkid {
+		t.Error("skid configured but every delivery was precise")
+	}
+}
+
+func TestSampledEventFilteringWithStores(t *testing.T) {
+	// When sampling stores, delivered sample addresses must be stores.
+	p := New(Config{Event: StoresOnly, Period: 3}, func(s Sample) {
+		if s.Access.Kind != mem.Store {
+			t.Errorf("sampled a %v while sampling stores", s.Access.Kind)
+		}
+	})
+	for i := uint64(0); i < 1000; i++ {
+		if i%2 == 0 {
+			p.Tick(load(i))
+		} else {
+			p.Tick(store(i))
+		}
+	}
+	if p.Samples() == 0 {
+		t.Error("no store samples delivered")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	p := New(Config{Event: AllAccesses, Period: 10}, func(Sample) {})
+	for i := 0; i < 55; i++ {
+		p.Tick(load(uint64(i)))
+	}
+	p.Reset()
+	if p.Count() != 0 || p.AllCount() != 0 || p.Samples() != 0 {
+		t.Errorf("Reset left state: %d %d %d", p.Count(), p.AllCount(), p.Samples())
+	}
+}
+
+func TestPeriodOneSamplesEveryAccess(t *testing.T) {
+	n := 0
+	p := New(Config{Event: AllAccesses, Period: 1}, func(Sample) { n++ })
+	for i := 0; i < 100; i++ {
+		p.Tick(load(uint64(i)))
+	}
+	if n != 100 {
+		t.Errorf("period-1 delivered %d samples, want 100", n)
+	}
+}

@@ -1,0 +1,363 @@
+package trace
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Default access width used by generators (a 64-bit word).
+const wordSize = 8
+
+// Tag rebases the program counters of a stream: every access's PC
+// becomes pcBase + its generator-local site PC. Generators that model a
+// single code site emit PC 0, so Tag stamps them with a constant;
+// multi-site kernels (Stencil2D, MatMulBlocked) emit small site indices
+// that Tag relocates to distinct fake code addresses.
+func Tag(pcBase mem.Addr, r Reader) Reader {
+	return &tagReader{r: r, base: pcBase}
+}
+
+type tagReader struct {
+	r    Reader
+	base mem.Addr
+}
+
+func (t *tagReader) Read(dst []mem.Access) (int, error) {
+	n, err := t.r.Read(dst)
+	for i := 0; i < n; i++ {
+		dst[i].PC += t.base
+	}
+	return n, err
+}
+
+// Sequential streams linearly through a region: count accesses starting
+// at base, advancing by stride bytes each access. It models streaming
+// kernels (array sweeps, memcpy, lbm-style lattice updates).
+func Sequential(base mem.Addr, count uint64, stride uint64) Reader {
+	i := uint64(0)
+	return Func(func() (mem.Access, bool) {
+		if i >= count {
+			return mem.Access{}, false
+		}
+		a := mem.Access{Addr: base + mem.Addr(i*stride), Size: wordSize, Kind: mem.Load}
+		i++
+		return a, true
+	})
+}
+
+// Cyclic loops over a working set of `blocks` 8-byte words starting at
+// base, in order, for `count` total accesses. Every access after the
+// first lap has reuse distance exactly blocks-1 (at word granularity),
+// which makes it the canonical analytic test pattern.
+func Cyclic(base mem.Addr, blocks uint64, count uint64) Reader {
+	i := uint64(0)
+	return Func(func() (mem.Access, bool) {
+		if i >= count {
+			return mem.Access{}, false
+		}
+		a := mem.Access{Addr: base + mem.Addr(i%blocks*wordSize), Size: wordSize, Kind: mem.Load}
+		i++
+		return a, true
+	})
+}
+
+// RandomUniform draws `count` accesses uniformly from a region of
+// `blocks` words starting at base.
+func RandomUniform(seed uint64, base mem.Addr, blocks uint64, count uint64) Reader {
+	rng := stats.NewRNG(seed)
+	i := uint64(0)
+	return Func(func() (mem.Access, bool) {
+		if i >= count {
+			return mem.Access{}, false
+		}
+		i++
+		w := rng.Uint64n(blocks)
+		return mem.Access{Addr: base + mem.Addr(w*wordSize), Size: wordSize, Kind: mem.Load}, true
+	})
+}
+
+// ZipfAccess draws `count` accesses from `blocks` words with a Zipfian
+// popularity distribution of exponent s, shuffled so hot words are
+// scattered across the region. It models hash tables and branch-y integer
+// codes (deepsjeng/leela-style transposition tables).
+func ZipfAccess(seed uint64, base mem.Addr, blocks int, s float64, count uint64) Reader {
+	rng := stats.NewRNG(seed)
+	z := stats.NewZipf(rng, s, blocks)
+	perm := make([]int, blocks)
+	rng.Perm(perm)
+	i := uint64(0)
+	return Func(func() (mem.Access, bool) {
+		if i >= count {
+			return mem.Access{}, false
+		}
+		i++
+		w := perm[z.Next()]
+		return mem.Access{Addr: base + mem.Addr(uint64(w)*wordSize), Size: wordSize, Kind: mem.Load}, true
+	})
+}
+
+// PointerChase builds a random single-cycle permutation over `nodes`
+// words and then chases it for `count` accesses. Spatially random,
+// temporally fully cyclic: every access after the first lap has reuse
+// distance nodes-1. Models mcf/omnetpp-style linked structures.
+func PointerChase(seed uint64, base mem.Addr, nodes int, count uint64) Reader {
+	rng := stats.NewRNG(seed)
+	// Sattolo's algorithm: a uniformly random cyclic permutation.
+	next := make([]int32, nodes)
+	for i := range next {
+		next[i] = int32(i)
+	}
+	for i := nodes - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		next[i], next[j] = next[j], next[i]
+	}
+	cur := int32(0)
+	i := uint64(0)
+	return Func(func() (mem.Access, bool) {
+		if i >= count {
+			return mem.Access{}, false
+		}
+		i++
+		a := mem.Access{Addr: base + mem.Addr(uint64(cur)*wordSize), Size: wordSize, Kind: mem.Load}
+		cur = next[cur]
+		return a, true
+	})
+}
+
+// Strided sweeps a region repeatedly with a large stride, touching
+// `lanes` interleaved streams — the access pattern of column-major
+// traversals and multi-array vector kernels (bwaves-style).
+func Strided(base mem.Addr, lanes uint64, laneLen uint64, stride uint64, count uint64) Reader {
+	i := uint64(0)
+	return Func(func() (mem.Access, bool) {
+		if i >= count {
+			return mem.Access{}, false
+		}
+		k := i % (lanes * laneLen)
+		lane := k % lanes
+		pos := k / lanes
+		i++
+		addr := base + mem.Addr(lane*laneLen*stride+pos*stride)
+		return mem.Access{Addr: addr, Size: wordSize, Kind: mem.Load}, true
+	})
+}
+
+// Stencil2D sweeps an nx × ny grid of float64 row-major, reading the
+// 5-point neighborhood and writing the center, for `sweeps` full passes.
+// Models structured-grid PDE kernels (cactuBSSN/fotonik3d/roms-style).
+func Stencil2D(base mem.Addr, nx, ny int, sweeps int) Reader {
+	x, y, s, phase := 1, 1, 0, 0
+	at := func(i, j int) mem.Addr { return base + mem.Addr((j*nx+i)*wordSize) }
+	return Func(func() (mem.Access, bool) {
+		for {
+			if s >= sweeps {
+				return mem.Access{}, false
+			}
+			if y >= ny-1 {
+				s++
+				x, y, phase = 1, 1, 0
+				continue
+			}
+			var a mem.Access
+			switch phase {
+			case 0:
+				a = mem.Access{Addr: at(x, y), Size: wordSize, Kind: mem.Load}
+			case 1:
+				a = mem.Access{Addr: at(x-1, y), Size: wordSize, Kind: mem.Load}
+			case 2:
+				a = mem.Access{Addr: at(x+1, y), Size: wordSize, Kind: mem.Load}
+			case 3:
+				a = mem.Access{Addr: at(x, y-1), Size: wordSize, Kind: mem.Load}
+			case 4:
+				a = mem.Access{Addr: at(x, y+1), Size: wordSize, Kind: mem.Load}
+			case 5:
+				a = mem.Access{Addr: at(x, y), Size: wordSize, Kind: mem.Store}
+			}
+			a.PC = mem.Addr(phase) // per-site PC; relocate with Tag
+			phase++
+			if phase == 6 {
+				phase = 0
+				x++
+				if x >= nx-1 {
+					x = 1
+					y++
+				}
+			}
+			return a, true
+		}
+	})
+}
+
+// MatMulBlocked emits the address stream of a blocked n×n float64 matrix
+// multiply C += A·B with block size bs (bs == n degenerates to the naive
+// triple loop). The three matrices are laid out contiguously from base.
+func MatMulBlocked(base mem.Addr, n, bs int) Reader {
+	if bs <= 0 || bs > n {
+		bs = n
+	}
+	matBytes := n * n * wordSize
+	aBase := base
+	bBase := base + mem.Addr(matBytes)
+	cBase := base + mem.Addr(2*matBytes)
+	at := func(b mem.Addr, i, j int) mem.Addr { return b + mem.Addr((i*n+j)*wordSize) }
+
+	// State machine over the 6-deep blocked loop nest.
+	ii, jj, kk := 0, 0, 0
+	i, j, k := 0, 0, 0
+	phase := 0
+	done := false
+	return Func(func() (mem.Access, bool) {
+		if done {
+			return mem.Access{}, false
+		}
+		var a mem.Access
+		switch phase {
+		case 0:
+			a = mem.Access{Addr: at(aBase, i, k), Size: wordSize, Kind: mem.Load}
+		case 1:
+			a = mem.Access{Addr: at(bBase, k, j), Size: wordSize, Kind: mem.Load}
+		case 2:
+			a = mem.Access{Addr: at(cBase, i, j), Size: wordSize, Kind: mem.Load}
+		case 3:
+			a = mem.Access{Addr: at(cBase, i, j), Size: wordSize, Kind: mem.Store}
+		}
+		a.PC = mem.Addr(phase) // per-site PC; relocate with Tag
+		phase++
+		if phase == 4 {
+			phase = 0
+			// Advance the innermost loop of the blocked nest:
+			// for ii,jj,kk blocks; for i in ii-block, j in jj-block, k in kk-block.
+			k++
+			if k >= min(kk+bs, n) {
+				k = kk
+				j++
+				if j >= min(jj+bs, n) {
+					j = jj
+					i++
+					if i >= min(ii+bs, n) {
+						i = ii
+						kk += bs
+						if kk >= n {
+							kk = 0
+							jj += bs
+							if jj >= n {
+								jj = 0
+								ii += bs
+								if ii >= n {
+									done = true
+								}
+							}
+						}
+						i, j, k = ii, jj, kk
+					}
+				}
+			}
+		}
+		return a, true
+	})
+}
+
+// GaussianWorkingSet draws accesses from a normal distribution of block
+// indices centered on a slowly drifting hot spot — a soft working set
+// that moves through memory, as in adaptive-mesh or simulation codes.
+func GaussianWorkingSet(seed uint64, base mem.Addr, blocks uint64, sigma float64, driftEvery uint64, count uint64) Reader {
+	rng := stats.NewRNG(seed)
+	center := float64(blocks) / 2
+	i := uint64(0)
+	return Func(func() (mem.Access, bool) {
+		if i >= count {
+			return mem.Access{}, false
+		}
+		if driftEvery > 0 && i%driftEvery == 0 && i > 0 {
+			center += sigma / 2
+			if center >= float64(blocks) {
+				center -= float64(blocks)
+			}
+		}
+		i++
+		v := center + rng.NormFloat64()*sigma
+		w := int64(v)
+		// Wrap into range.
+		m := int64(blocks)
+		w = ((w % m) + m) % m
+		return mem.Access{Addr: base + mem.Addr(uint64(w)*wordSize), Size: wordSize, Kind: mem.Load}, true
+	})
+}
+
+// Mix interleaves several readers, choosing the source of each access at
+// random with the given weights. It ends when all sources are exhausted.
+func Mix(seed uint64, readers []Reader, weights []float64) Reader {
+	if len(readers) != len(weights) {
+		panic("trace: Mix readers/weights length mismatch")
+	}
+	rng := stats.NewRNG(seed)
+	bufs := make([][]mem.Access, len(readers))
+	fill := make([]int, len(readers)) // valid entries in bufs[i]
+	pos := make([]int, len(readers))
+	dead := make([]bool, len(readers))
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	pull := func(i int) (mem.Access, bool) {
+		if dead[i] {
+			return mem.Access{}, false
+		}
+		if pos[i] >= fill[i] {
+			if bufs[i] == nil {
+				bufs[i] = make([]mem.Access, 256)
+			}
+			n, err := readers[i].Read(bufs[i])
+			fill[i], pos[i] = n, 0
+			if n == 0 {
+				dead[i] = err == nil || true
+				// A reader returning (0, nil) forever would livelock the
+				// mixer; treat it as exhausted either way.
+				return mem.Access{}, false
+			}
+			_ = err
+		}
+		a := bufs[i][pos[i]]
+		pos[i]++
+		return a, true
+	}
+	return Func(func() (mem.Access, bool) {
+		for {
+			alive := false
+			for i := range dead {
+				if !dead[i] {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				return mem.Access{}, false
+			}
+			u := rng.Float64() * total
+			acc := 0.0
+			pick := len(readers) - 1
+			for i, w := range weights {
+				acc += w
+				if u < acc {
+					pick = i
+					break
+				}
+			}
+			if a, ok := pull(pick); ok {
+				return a, true
+			}
+			// Picked an exhausted source; redistribute its weight.
+			total -= weights[pick]
+			weights[pick] = 0
+			if total <= 0 {
+				// Drain any remaining live sources round-robin.
+				for i := range dead {
+					if a, ok := pull(i); ok {
+						return a, true
+					}
+				}
+				return mem.Access{}, false
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// MarkovPhases models programs that move between behavioural phases
+// (the execution structure the paper's long-running characterization
+// targets): a Markov chain over phases, each phase owning a generator
+// factory, with geometrically distributed dwell times.
+//
+// Each visit to a phase constructs a fresh stream from its factory and
+// plays `dwell` accesses of it (or to exhaustion); transitions then
+// follow the transition matrix. The composite stream ends after `count`
+// total accesses.
+type MarkovPhase struct {
+	// Name labels the phase (diagnostics).
+	Name string
+	// New builds the phase's access stream; called once per visit.
+	New func() Reader
+	// Dwell is the mean number of accesses spent per visit.
+	Dwell uint64
+}
+
+// MarkovPhases builds the composite stream. transitions[i][j] is the
+// probability of moving to phase j when phase i's dwell expires; rows
+// must be non-empty and non-negative (they are normalized internally).
+func MarkovPhases(seed uint64, phases []MarkovPhase, transitions [][]float64, count uint64) Reader {
+	if len(phases) == 0 {
+		panic("trace: MarkovPhases with no phases")
+	}
+	if len(transitions) != len(phases) {
+		panic("trace: MarkovPhases transition matrix size mismatch")
+	}
+	rng := stats.NewRNG(seed)
+	cur := 0
+	var reader Reader
+	var left uint64
+	emitted := uint64(0)
+	buf := make([]mem.Access, 1)
+
+	nextPhase := func() {
+		row := transitions[cur]
+		total := 0.0
+		for _, p := range row {
+			total += p
+		}
+		if total <= 0 {
+			// Absorbing row: stay put.
+			return
+		}
+		u := rng.Float64() * total
+		acc := 0.0
+		for j, p := range row {
+			acc += p
+			if u < acc {
+				cur = j
+				return
+			}
+		}
+		cur = len(row) - 1
+	}
+
+	enter := func() {
+		reader = phases[cur].New()
+		// Geometric-ish dwell: uniform in [dwell/2, 3*dwell/2).
+		d := phases[cur].Dwell
+		if d == 0 {
+			d = 1
+		}
+		left = d/2 + rng.Uint64n(d) + 1
+	}
+	enter()
+
+	return Func(func() (mem.Access, bool) {
+		for {
+			if emitted >= count {
+				return mem.Access{}, false
+			}
+			if left == 0 {
+				nextPhase()
+				enter()
+			}
+			n, err := reader.Read(buf)
+			if n == 1 {
+				left--
+				emitted++
+				return buf[0], true
+			}
+			if err != nil {
+				// Phase stream exhausted: move on immediately.
+				nextPhase()
+				enter()
+				continue
+			}
+		}
+	})
+}
+
+// SpatialCluster draws accesses with spatial locality: a uniformly
+// random "object" base is chosen every `burst` accesses, and accesses
+// within a burst walk sequentially through the object — the pattern of
+// field-wise structure access that makes cache lines effective. Objects
+// are objSize words; the heap holds `objects` of them.
+func SpatialCluster(seed uint64, base mem.Addr, objects, objSize, burst, count uint64) Reader {
+	if objSize == 0 || burst == 0 || objects == 0 {
+		panic("trace: SpatialCluster with zero size")
+	}
+	rng := stats.NewRNG(seed)
+	var cur mem.Addr
+	inBurst := uint64(0)
+	i := uint64(0)
+	return Func(func() (mem.Access, bool) {
+		if i >= count {
+			return mem.Access{}, false
+		}
+		if inBurst == 0 {
+			obj := rng.Uint64n(objects)
+			cur = base + mem.Addr(obj*objSize*wordSize)
+			inBurst = burst
+		}
+		off := (burst - inBurst) % objSize
+		inBurst--
+		i++
+		return mem.Access{Addr: cur + mem.Addr(off*wordSize), Size: wordSize, Kind: mem.Load}, true
+	})
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestMarkovPhasesLength(t *testing.T) {
+	phases := []MarkovPhase{
+		{Name: "a", New: func() Reader { return Sequential(0, 1<<30, 8) }, Dwell: 100},
+		{Name: "b", New: func() Reader { return Cyclic(1<<40, 64, 1<<30) }, Dwell: 100},
+	}
+	trans := [][]float64{{0, 1}, {1, 0}}
+	n, err := Count(MarkovPhases(1, phases, trans, 10000))
+	if err != nil || n != 10000 {
+		t.Fatalf("count = %d, err = %v", n, err)
+	}
+}
+
+func TestMarkovPhasesAlternates(t *testing.T) {
+	// Deterministic two-phase alternation: accesses must come from both
+	// regions in interleaved runs.
+	phases := []MarkovPhase{
+		{Name: "lo", New: func() Reader { return Cyclic(0, 8, 1<<30) }, Dwell: 50},
+		{Name: "hi", New: func() Reader { return Cyclic(1<<40, 8, 1<<30) }, Dwell: 50},
+	}
+	trans := [][]float64{{0, 1}, {1, 0}}
+	var loSeen, hiSeen, switches int
+	last := -1
+	err := ForEach(MarkovPhases(2, phases, trans, 20000), func(a mem.Access) bool {
+		region := 0
+		if a.Addr >= 1<<40 {
+			region = 1
+		}
+		if region == 0 {
+			loSeen++
+		} else {
+			hiSeen++
+		}
+		if last >= 0 && region != last {
+			switches++
+		}
+		last = region
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loSeen == 0 || hiSeen == 0 {
+		t.Fatalf("phases not both visited: lo=%d hi=%d", loSeen, hiSeen)
+	}
+	if switches < 100 {
+		t.Errorf("only %d phase switches over 20000 accesses with dwell 50", switches)
+	}
+}
+
+func TestMarkovPhasesExhaustedPhaseAdvances(t *testing.T) {
+	// A phase whose stream runs dry before its dwell expires must hand
+	// over rather than livelock.
+	phases := []MarkovPhase{
+		{Name: "short", New: func() Reader { return Sequential(0, 5, 8) }, Dwell: 1000},
+		{Name: "long", New: func() Reader { return Cyclic(1<<40, 8, 1<<30) }, Dwell: 1000},
+	}
+	trans := [][]float64{{0, 1}, {0, 1}} // short -> long -> long...
+	n, err := Count(MarkovPhases(3, phases, trans, 5000))
+	if err != nil || n != 5000 {
+		t.Fatalf("count = %d, err = %v", n, err)
+	}
+}
+
+func TestMarkovPhasesAbsorbingRow(t *testing.T) {
+	phases := []MarkovPhase{
+		{Name: "only", New: func() Reader { return Cyclic(0, 4, 1<<30) }, Dwell: 10},
+	}
+	trans := [][]float64{{0}} // absorbing
+	n, err := Count(MarkovPhases(4, phases, trans, 1000))
+	if err != nil || n != 1000 {
+		t.Fatalf("count = %d, err = %v", n, err)
+	}
+}
+
+func TestMarkovPhasesPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("no phases", func() { MarkovPhases(1, nil, nil, 10) })
+	assertPanics("matrix mismatch", func() {
+		MarkovPhases(1, []MarkovPhase{{New: func() Reader { return Sequential(0, 1, 8) }, Dwell: 1}}, nil, 10)
+	})
+}
+
+func TestSpatialClusterShape(t *testing.T) {
+	const objects, objSize, burst, n = 100, 8, 16, 10000
+	var lineLocal, total int
+	var prev mem.Addr
+	err := ForEach(SpatialCluster(5, 0, objects, objSize, burst, n), func(a mem.Access) bool {
+		if a.Addr >= objects*objSize*8 {
+			t.Fatalf("access %v outside heap", a.Addr)
+		}
+		if total > 0 {
+			// Consecutive accesses inside a burst stay within one object
+			// (64 bytes here): count how often.
+			if a.Addr/64 == prev/64 {
+				lineLocal++
+			}
+		}
+		prev = a.Addr
+		total++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(lineLocal) / float64(total); frac < 0.7 {
+		t.Errorf("spatial locality fraction = %v, want >= 0.7", frac)
+	}
+}
+
+func TestSpatialClusterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero sizes did not panic")
+		}
+	}()
+	SpatialCluster(1, 0, 0, 8, 8, 10)
+}
