@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/cpumodel"
 	"repro/internal/exact"
@@ -293,4 +294,64 @@ func BenchmarkUninstrumentedBaseline(b *testing.B) {
 	if err := m.Run(r); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// --- Batched-engine benchmarks ---
+
+// engineWorkload is the default synthetic workload for the engine
+// benchmarks (the same stream rdexper -bench-out times): a cyclic
+// sweep over a small working set, where watchpoints resolve quickly
+// and throughput is dominated by the event-free stretches the batched
+// engine skips over.
+func engineWorkload(n uint64) trace.Reader { return trace.Cyclic(0, 1<<10, n) }
+
+func benchEngine(b *testing.B, reference bool) {
+	p, err := core.NewProfiler(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := uint64(b.N) + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	if reference {
+		_, err = p.RunReference(engineWorkload(n), cpumodel.Default())
+	} else {
+		_, err = p.Run(engineWorkload(n), cpumodel.Default())
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "accesses/sec")
+}
+
+// BenchmarkMachineRun measures the batched execution engine — the
+// skip-ahead PMU sampling and O(armed) watchpoint hot path — under a
+// default-config RDX profiler.
+func BenchmarkMachineRun(b *testing.B) { benchEngine(b, false) }
+
+// BenchmarkMachineRunReference measures the retained per-access
+// reference loop on the same workload: the pre-change engine
+// BenchmarkMachineRun's speedup is judged against.
+func BenchmarkMachineRunReference(b *testing.B) { benchEngine(b, true) }
+
+// BenchmarkExactOracle measures the exhaustive oracle sequentially and
+// sharded across a worker pool, in accesses/sec.
+func BenchmarkExactOracle(b *testing.B) {
+	mk := func(n uint64) trace.Reader { return trace.ZipfAccess(1, 0, 1<<16, 1.0, n) }
+	b.Run("sequential", func(b *testing.B) {
+		n := uint64(b.N) + 1
+		b.ResetTimer()
+		if _, err := exact.Measure(mk(n), WordGranularity); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "accesses/sec")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		n := uint64(b.N) + 1
+		b.ResetTimer()
+		if _, err := exact.MeasureParallel(mk(n), WordGranularity, exact.ParallelOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "accesses/sec")
+	})
 }

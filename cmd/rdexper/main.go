@@ -7,6 +7,7 @@
 //	rdexper -exp all                 # the full evaluation
 //	rdexper -exp T2,F4,F5            # selected experiments
 //	rdexper -n 16777216 -period 32768 -exp T2
+//	rdexper -bench-out BENCH_engine.json   # engine throughput record
 //	rdexper -list
 package main
 
@@ -22,11 +23,12 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		n      = flag.Uint64("n", 4<<20, "accesses per workload run")
-		period = flag.Uint64("period", 8<<10, "default RDX sampling period")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		exp      = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		n        = flag.Uint64("n", 4<<20, "accesses per workload run")
+		period   = flag.Uint64("period", 8<<10, "default RDX sampling period")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		benchOut = flag.String("bench-out", "", "run the engine throughput benchmark and write its JSON record to this path (e.g. BENCH_engine.json), then exit")
 	)
 	flag.Parse()
 
@@ -43,6 +45,18 @@ func main() {
 		Period:   *period,
 		Seed:     *seed,
 		Out:      os.Stdout,
+	}
+
+	if *benchOut != "" {
+		res, err := opts.RunEngineBench()
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteJSON(*benchOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+		return
 	}
 
 	start := time.Now()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -48,32 +49,56 @@ func (m *MultiResult) TimeOverhead() float64 {
 // program: every thread gets its own simulated core, PMU and debug
 // registers (per-thread contexts, as perf_event and ptrace provide), and
 // the per-thread histograms are merged into program-level results.
-// Threads run concurrently.
+// Threads run concurrently on a worker pool of runtime.GOMAXPROCS(0)
+// simulated cores; use ProfileThreadsPool to pick the pool size.
 func ProfileThreads(streams []trace.Reader, cfg Config, costs cpumodel.Costs) (*MultiResult, error) {
+	return ProfileThreadsPool(streams, cfg, costs, 0)
+}
+
+// ProfileThreadsPool is ProfileThreads with an explicit worker-pool
+// size: at most `workers` streams are simulated concurrently, the rest
+// queue — more streams than cores multiplexes, exactly as an OS
+// schedules more threads than hardware contexts. workers <= 0 selects
+// runtime.GOMAXPROCS(0). Results are deterministic and independent of
+// the pool size: each thread's seed derives from its index alone.
+func ProfileThreadsPool(streams []trace.Reader, cfg Config, costs cpumodel.Costs, workers int) (*MultiResult, error) {
 	if len(streams) == 0 {
 		return nil, fmt.Errorf("core: ProfileThreads with no streams")
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(streams) {
+		workers = len(streams)
+	}
 	results := make([]*Result, len(streams))
 	errs := make([]error, len(streams))
+	next := make(chan int)
 	var wg sync.WaitGroup
-	for i, s := range streams {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, s trace.Reader) {
+		go func() {
 			defer wg.Done()
-			tcfg := cfg
-			// De-correlate per-thread sampling phases.
-			tcfg.Seed = cfg.Seed + uint64(i)*0x9e3779b9
-			p, err := NewProfiler(tcfg)
-			if err != nil {
-				errs[i] = err
-				return
+			for i := range next {
+				tcfg := cfg
+				// De-correlate per-thread sampling phases.
+				tcfg.Seed = cfg.Seed + uint64(i)*0x9e3779b9
+				p, err := NewProfiler(tcfg)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = p.Run(streams[i], costs)
 			}
-			results[i], errs[i] = p.Run(s, costs)
-		}(i, s)
+		}()
 	}
+	for i := range streams {
+		next <- i
+	}
+	close(next)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {

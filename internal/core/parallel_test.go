@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/cpumodel"
@@ -150,5 +151,44 @@ func TestMultiResultTimeOverheadIsWorstThread(t *testing.T) {
 	}
 	if multi.TimeOverhead() != worst {
 		t.Errorf("TimeOverhead = %v, want max per-thread %v", multi.TimeOverhead(), worst)
+	}
+}
+
+func TestProfileThreadsPoolBoundsWorkers(t *testing.T) {
+	// Far more streams than workers: the pool must multiplex them all
+	// and produce results identical to any other pool size (per-thread
+	// seeds derive from the stream index alone).
+	const n, streams = 30000, 32
+	mk := func() []trace.Reader {
+		rs := make([]trace.Reader, streams)
+		for i := range rs {
+			rs[i] = trace.ZipfAccess(uint64(i)+1, mem.Addr(i)<<40, 800, 1.0, n)
+		}
+		return rs
+	}
+	cfg := testConfig(500)
+	narrow, err := ProfileThreadsPool(mk(), cfg, cpumodel.Default(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := ProfileThreadsPool(mk(), cfg, cpumodel.Default(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(narrow.Threads) != streams || len(wide.Threads) != streams {
+		t.Fatalf("thread results = %d/%d, want %d", len(narrow.Threads), len(wide.Threads), streams)
+	}
+	if narrow.Accesses != streams*n {
+		t.Fatalf("accesses = %d, want %d", narrow.Accesses, streams*n)
+	}
+	// Per-thread results are fully deterministic, so pool size must not
+	// change a single byte of them.
+	for i := range narrow.Threads {
+		if !reflect.DeepEqual(narrow.Threads[i], wide.Threads[i]) {
+			t.Fatalf("thread %d result depends on pool size", i)
+		}
+	}
+	if !reflect.DeepEqual(narrow.ReuseDistance, wide.ReuseDistance) {
+		t.Fatal("merged histogram depends on pool size")
 	}
 }

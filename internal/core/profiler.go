@@ -190,10 +190,21 @@ func (p *Profiler) onTrap(t debugreg.Trap) {
 
 // Run profiles an access stream end to end with the given cost model and
 // returns the result. It is the one-call convenience wrapper around
-// NewMachine + machine.Run + Result.
+// NewMachine + machine.Run + Result, executing on the batched engine.
 func (p *Profiler) Run(r trace.Reader, costs cpumodel.Costs) (*Result, error) {
 	m := p.NewMachine(costs)
 	if err := m.Run(r); err != nil {
+		return nil, err
+	}
+	return p.Result(), nil
+}
+
+// RunReference is Run on the retained per-access reference loop
+// (cpu.Machine.RunReference). The differential tests assert it produces
+// results bit-identical to Run for every configuration.
+func (p *Profiler) RunReference(r trace.Reader, costs cpumodel.Costs) (*Result, error) {
+	m := p.NewMachine(costs)
+	if err := m.RunReference(r); err != nil {
 		return nil, err
 	}
 	return p.Result(), nil
@@ -318,10 +329,14 @@ func (p *Profiler) Result() *Result {
 }
 
 // stateBytes models RDX's memory footprint: fixed runtime state plus the
-// per-observation logs and per-slot bookkeeping.
+// per-observation logs and per-slot bookkeeping. All four observation
+// logs count at their allocated capacity — times, censored and
+// endCensored hold 8-byte values, pcs holds 16-byte use→reuse PC pairs.
 func (p *Profiler) stateBytes() uint64 {
-	perSlot := uint64(len(p.slots)) * 16
-	return runtimeFixedBytes + uint64(cap(p.times)+cap(p.censored))*8 + perSlot
+	perSlot := uint64(len(p.slots)) * 24 // block, usePC, c0
+	logs := uint64(cap(p.times)+cap(p.censored)+cap(p.endCensored))*8 +
+		uint64(cap(p.pcs))*16
+	return runtimeFixedBytes + logs + perSlot
 }
 
 // redistributeCensored applies redistribute-to-the-right (the

@@ -1,7 +1,7 @@
 // Package cpu ties the simulated hardware together: a Machine executes a
 // memory-access stream, driving the PMU (overflow sampling) and the debug
-// registers (watchpoint traps) on every access, and charging the cycle
-// cost model for the base access plus every profiling event it induces.
+// registers (watchpoint traps), and charging the cycle cost model for the
+// base access plus every profiling event it induces.
 //
 // Profilers never see the raw stream — exactly like a real
 // no-instrumentation tool, they interact with the program only through
@@ -9,9 +9,33 @@
 // ground-truth tool instead registers a per-access instrumentation
 // callback, paying the corresponding modelled cost, which is precisely
 // the asymmetry the paper's overhead comparison measures.
+//
+// # Batched execution engine
+//
+// Run reads the stream in []mem.Access batches and executes each batch
+// in segments separated by profiling events, instead of dispatching a
+// closure per access:
+//
+//   - with no watchpoint armed, the PMU's Headroom (qualifying events
+//     until the next overflow) bounds a bulk Advance over the whole
+//     event-free stretch — accesses between samples cost a counter add,
+//     not a call;
+//   - with watchpoints armed, each access is pre-screened against a
+//     snapshot of the armed slots (O(armed) compares); PMU counting is
+//     still bulk-advanced lazily and flushed immediately before any trap
+//     or sample is delivered, so handlers observe exact counter values;
+//   - after any delivered event the segment ends, because handlers may
+//     arm or disarm watchpoints and the PMU re-draws its next period.
+//
+// The engine is bit-exact with the retained per-access reference loop
+// (RunReference): same stream and configuration produce identical
+// counters, samples, traps and handler-observed state. See DESIGN.md
+// "Batched execution engine" for the invariants.
 package cpu
 
 import (
+	"io"
+
 	"repro/internal/cpumodel"
 	"repro/internal/debugreg"
 	"repro/internal/mem"
@@ -32,7 +56,11 @@ type Machine struct {
 	instr   Instrument
 
 	accessIndex uint64 // index of the access currently executing
+	executed    uint64 // accesses executed so far (index of the next one)
 	running     bool
+
+	wpScratch   []debugreg.Watchpoint // armed-set snapshot, reused per segment
+	slotScratch []int
 }
 
 // Option configures a Machine.
@@ -75,22 +103,49 @@ func (m *Machine) Account() *cpumodel.Account { return m.account }
 
 // AccessIndex returns the global index of the access currently executing
 // (valid inside PMU/trap/instrumentation callbacks), or of the last
-// executed access after Run returns.
+// executed access after Run returns. Between profiling events the
+// batched engine does not maintain it per access — no callback can
+// observe it there.
 func (m *Machine) AccessIndex() uint64 { return m.accessIndex }
 
-// Run executes the stream to exhaustion. It may be called once per
-// machine.
+// Run executes the stream to exhaustion on the batched engine. It may be
+// called once per machine.
 func (m *Machine) Run(r trace.Reader) error {
 	m.running = true
 	defer func() { m.running = false }()
-	var idx uint64
+	buf := make([]mem.Access, trace.DefaultBatchSize)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			m.executeBatch(buf[:n])
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	m.finish()
+	return nil
+}
+
+// RunReference executes the stream with the pre-batching per-access
+// loop: one closure dispatch, one full watchpoint check and one PMU tick
+// per access. It is retained as the executable specification of the
+// engine's semantics — the differential tests assert that Run and
+// RunReference produce identical results — and as the baseline the
+// engine benchmarks compare against.
+func (m *Machine) RunReference(r trace.Reader) error {
+	m.running = true
+	defer func() { m.running = false }()
 	err := trace.ForEach(r, func(a mem.Access) bool {
-		m.accessIndex = idx
+		m.accessIndex = m.executed
 		m.account.Accesses++
 
 		if m.instr != nil {
 			m.account.Instrumented++
-			m.instr(idx, a)
+			m.instr(m.executed, a)
 		}
 		if m.drs != nil {
 			if n := m.drs.Check(a); n > 0 {
@@ -102,13 +157,200 @@ func (m *Machine) Run(r trace.Reader) error {
 				m.account.Samples++
 			}
 		}
-		idx++
+		m.executed++
 		return true
 	})
-	// Arm cost is charged from the debug-register file's own tally so
-	// that profilers don't need to report it separately.
+	m.finish()
+	return err
+}
+
+// finish settles end-of-run accounting shared by both execution paths.
+// Arm cost is charged from the debug-register file's own tally so that
+// profilers don't need to report it separately.
+func (m *Machine) finish() {
+	if m.executed > 0 {
+		m.accessIndex = m.executed - 1
+	}
 	if m.drs != nil {
 		m.account.Arms = m.drs.Arms()
 	}
-	return err
+}
+
+// executeBatch runs one batch through the segmented fast path.
+func (m *Machine) executeBatch(batch []mem.Access) {
+	if m.instr != nil {
+		m.runInstrumented(batch)
+		return
+	}
+	n := len(batch)
+	i := 0
+	for i < n {
+		if m.drs != nil && m.drs.AnyArmed() {
+			i = m.runWatched(batch, i)
+			continue
+		}
+		if m.pmu != nil {
+			i = m.runSampling(batch, i)
+			continue
+		}
+		// Free run: no profiling hardware can observe these accesses.
+		m.account.Accesses += uint64(n - i)
+		m.executed += uint64(n - i)
+		i = n
+	}
+}
+
+// runInstrumented executes batch accesses through the full per-access
+// path: exhaustive tools observe every access, so there is nothing to
+// skip (this is exactly the asymmetry the paper measures).
+func (m *Machine) runInstrumented(batch []mem.Access) {
+	for _, a := range batch {
+		m.accessIndex = m.executed
+		m.account.Accesses++
+		m.account.Instrumented++
+		m.instr(m.executed, a)
+		if m.drs != nil {
+			if n := m.drs.Check(a); n > 0 {
+				m.account.Traps += uint64(n)
+			}
+		}
+		if m.pmu != nil {
+			if m.pmu.Tick(a) {
+				m.account.Samples++
+			}
+		}
+		m.executed++
+	}
+}
+
+// runSampling advances through batch[i:] with no watchpoint armed: the
+// only possible event is a PMU overflow, whose position is known in
+// advance from the counter's headroom. Everything before it is a bulk
+// counter advance; the delivering access runs through the precise Tick
+// path. Returns the index after the last executed access.
+func (m *Machine) runSampling(batch []mem.Access, i int) int {
+	n := len(batch)
+	h := m.pmu.Headroom()
+	ev := m.pmu.Config().Event
+
+	// Find j, the index of the access that overflows the counter (the
+	// (h+1)-th qualifying access), or n if no overflow falls inside the
+	// batch; qual counts qualifying accesses in batch[i:j].
+	j := n
+	var qual uint64
+	if ev == pmu.AllAccesses {
+		if h == pmu.NoOverflow || uint64(n-i) <= h {
+			qual = uint64(n - i)
+		} else {
+			j = i + int(h)
+			qual = h
+		}
+	} else {
+		for k := i; k < n; k++ {
+			if ev.Matches(batch[k]) {
+				if qual == h {
+					j = k
+					break
+				}
+				qual++
+			}
+		}
+	}
+
+	m.pmu.Advance(uint64(j-i), qual)
+	m.account.Accesses += uint64(j - i)
+	m.executed += uint64(j - i)
+	if j == n {
+		return n
+	}
+
+	// batch[j] overflows: deliver precisely, then let the dispatcher
+	// re-evaluate (the handler may have armed watchpoints).
+	m.accessIndex = m.executed
+	m.account.Accesses++
+	if m.pmu.Tick(batch[j]) {
+		m.account.Samples++
+	}
+	m.executed++
+	return j + 1
+}
+
+// runWatched advances through batch[i:] with at least one watchpoint
+// armed. Each access is pre-screened against a snapshot of the armed
+// watchpoints — valid because the armed set only changes when an event
+// fires, and the segment ends there. PMU counting is accumulated locally
+// and flushed into the unit immediately before any event delivery, so
+// trap and overflow handlers read exact counter values. Returns the
+// index after the last executed access.
+func (m *Machine) runWatched(batch []mem.Access, i int) int {
+	n := len(batch)
+
+	m.slotScratch = m.drs.ArmedSlots(m.slotScratch[:0])
+	wps := m.wpScratch[:0]
+	for _, s := range m.slotScratch {
+		wps = append(wps, m.drs.Slot(s))
+	}
+	m.wpScratch = wps
+
+	var (
+		h          uint64
+		ev         pmu.EventSelect
+		all, qual  uint64 // pending bulk advance for already-executed accesses
+		hasSampler = m.pmu != nil
+	)
+	if hasSampler {
+		h = m.pmu.Headroom()
+		ev = m.pmu.Config().Event
+	}
+
+	for ; i < n; i++ {
+		a := batch[i]
+
+		hit := false
+		for k := range wps {
+			if wps[k].Covers(a) {
+				hit = true
+				break
+			}
+		}
+		matches := hasSampler && ev.Matches(a)
+		overflow := matches && qual == h
+
+		if !hit && !overflow {
+			all++
+			if matches {
+				qual++
+			}
+			m.account.Accesses++
+			m.executed++
+			continue
+		}
+
+		// Event access: flush the pending bulk advance so handlers read
+		// counter values covering every prior access, then run the
+		// precise check-then-tick sequence.
+		m.accessIndex = m.executed
+		m.account.Accesses++
+		if hasSampler {
+			m.pmu.Advance(all, qual)
+			all, qual = 0, 0
+		}
+		if hit {
+			if t := m.drs.Check(a); t > 0 {
+				m.account.Traps += uint64(t)
+			}
+		}
+		if hasSampler {
+			if m.pmu.Tick(a) {
+				m.account.Samples++
+			}
+		}
+		m.executed++
+		return i + 1 // armed set / period changed: re-dispatch
+	}
+
+	if hasSampler {
+		m.pmu.Advance(all, qual)
+	}
+	return n
 }

@@ -17,6 +17,7 @@ package debugreg
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 )
@@ -52,7 +53,11 @@ type Watchpoint struct {
 	Tag uint64
 }
 
-func (w Watchpoint) covers(a mem.Access) bool {
+// Covers reports whether access a overlaps the watched range and matches
+// the watch kind — i.e. whether this watchpoint would trap on a. The
+// simulated core uses it to pre-screen accesses against armed slots
+// before paying for full trap delivery.
+func (w Watchpoint) Covers(a mem.Access) bool {
 	if !w.Kind.matches(a) {
 		return false
 	}
@@ -71,13 +76,18 @@ type Trap struct {
 // disarms it (matching how a SIGTRAP handler must reset DR7 itself).
 type TrapHandler func(Trap)
 
-// File is a set of hardware debug registers.
+// File is a set of hardware debug registers. It maintains an armed-slot
+// count and (for files of up to 64 slots) a bitmask so the hot-path
+// Check is O(armed): free when nothing is armed, and touching only armed
+// slots otherwise.
 type File struct {
-	slots   []Watchpoint
-	armed   []bool
-	handler TrapHandler
-	traps   uint64
-	arms    uint64
+	slots      []Watchpoint
+	armed      []bool
+	armedCount int
+	armedMask  uint64 // bit i set iff slot i armed; valid when len(slots) <= 64
+	handler    TrapHandler
+	traps      uint64
+	arms       uint64
 }
 
 // NewFile returns a debug-register file with n slots (n=4 matches x86).
@@ -113,15 +123,21 @@ func (f *File) Arm(slot int, addr mem.Addr, width uint8, kind WatchKind, tag uin
 	}
 	base := addr &^ mem.Addr(width-1) // natural alignment, as DR7 LEN requires
 	f.slots[slot] = Watchpoint{Addr: base, Width: width, Kind: kind, Tag: tag}
-	f.armed[slot] = true
+	if !f.armed[slot] {
+		f.armed[slot] = true
+		f.armedCount++
+		f.armedMask |= 1 << uint(slot)
+	}
 	f.arms++
 	return nil
 }
 
 // Disarm clears slot. Disarming an unarmed slot is a no-op.
 func (f *File) Disarm(slot int) {
-	if slot >= 0 && slot < len(f.slots) {
+	if slot >= 0 && slot < len(f.slots) && f.armed[slot] {
 		f.armed[slot] = false
+		f.armedCount--
+		f.armedMask &^= 1 << uint(slot)
 	}
 }
 
@@ -130,6 +146,8 @@ func (f *File) DisarmAll() {
 	for i := range f.armed {
 		f.armed[i] = false
 	}
+	f.armedCount = 0
+	f.armedMask = 0
 }
 
 // IsArmed reports whether slot holds an active watchpoint.
@@ -150,16 +168,15 @@ func (f *File) FreeSlot() int {
 	return -1
 }
 
-// ArmedCount returns how many slots are currently armed.
-func (f *File) ArmedCount() int {
-	n := 0
-	for _, a := range f.armed {
-		if a {
-			n++
-		}
-	}
-	return n
-}
+// ArmedCount returns how many slots are currently armed. It is O(1).
+func (f *File) ArmedCount() int { return f.armedCount }
+
+// AnyArmed reports whether at least one slot is armed. It is O(1).
+func (f *File) AnyArmed() bool { return f.armedCount > 0 }
+
+// ArmedMask returns the armed-slot bitmask (bit i set iff slot i is
+// armed). Only meaningful for files of at most 64 slots.
+func (f *File) ArmedMask() uint64 { return f.armedMask }
 
 // ArmedSlots appends the indices of armed slots to dst and returns it.
 func (f *File) ArmedSlots(dst []int) []int {
@@ -173,12 +190,34 @@ func (f *File) ArmedSlots(dst []int) []int {
 
 // Check tests an access against every armed watchpoint, delivering a
 // trap for each hit (multiple watchpoints on overlapping ranges each
-// trap, matching DR6 reporting multiple set bits). It returns the number
-// of traps delivered.
+// trap, matching DR6 reporting multiple set bits, in ascending slot
+// order). It returns the number of traps delivered. The check is
+// O(armed): it returns immediately when nothing is armed and otherwise
+// visits only armed slots via the armed mask.
 func (f *File) Check(a mem.Access) int {
+	if f.armedCount == 0 {
+		return 0
+	}
 	n := 0
+	if len(f.slots) <= 64 {
+		// Iterate the armed mask in ascending slot order. Trap handlers
+		// may disarm slots mid-check, so each visited slot re-checks its
+		// live armed bit — a slot disarmed by an earlier trap of the same
+		// access must not trap, exactly as the full slot scan behaves.
+		for m := f.armedMask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			if f.armedMask&(1<<uint(i)) != 0 && f.slots[i].Covers(a) {
+				n++
+				f.traps++
+				if f.handler != nil {
+					f.handler(Trap{Slot: i, WP: f.slots[i], Access: a})
+				}
+			}
+		}
+		return n
+	}
 	for i := range f.slots {
-		if f.armed[i] && f.slots[i].covers(a) {
+		if f.armed[i] && f.slots[i].Covers(a) {
 			n++
 			f.traps++
 			if f.handler != nil {

@@ -1,0 +1,320 @@
+package exact
+
+import (
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/histogram"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// This file parallelizes Olken's algorithm across contiguous trace
+// shards without giving up exactness. The decomposition:
+//
+//   - A reuse whose use and reuse both fall in the same shard has every
+//     intervening access inside that shard too (the shard is a
+//     contiguous time window), so a per-shard Olken over only the
+//     shard's own accesses measures it exactly. Workers do this in
+//     parallel.
+//   - A reuse that crosses a shard boundary is resolved by a sequential
+//     merge. Each worker reports, per distinct block it touched, the
+//     first and last access (time and PC) — its "boundary records", in
+//     first-touch order. The merge keeps each known block's global
+//     last-access time in an order-statistics tree. For a boundary
+//     record of block b first touched at time t with global previous
+//     access at p (< shard start), the distinct blocks accessed in
+//     (p, t) split into (a) blocks touched earlier in this shard — all
+//     of them count, and they are exactly the boundary records already
+//     processed — and (b) blocks untouched in this shard before t,
+//     which count iff their global last access exceeds p: a
+//     CountGreater on the tree after evicting the already-processed
+//     blocks' stale keys. The reuse distance is (a) + (b), bit-exact
+//     with the sequential algorithm.
+//
+// Histogram and attribution merges only ever add unit-weight integer
+// observations, so the result is identical (not just statistically
+// equivalent) to Measure's, independent of worker count and shard size.
+
+// DefaultShardSize is the default number of accesses per parallel
+// shard: large enough that the O(shard log shard) local work dwarfs the
+// O(distinct) merge work, small enough to bound in-flight memory
+// (1M accesses × 16 B × ~workers in flight).
+const DefaultShardSize = 1 << 20
+
+// ParallelOptions tunes MeasureParallel.
+type ParallelOptions struct {
+	// Workers is the worker-pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// ShardSize is the number of accesses per shard; <= 0 selects
+	// DefaultShardSize. The result does not depend on it.
+	ShardSize int
+	// Attribution enables exact per-code-pair aggregation.
+	Attribution bool
+}
+
+// ParallelResult is the merged outcome of a sharded exact measurement.
+// It exposes the same observers as the sequential Profiler and holds
+// identical histograms.
+type ParallelResult struct {
+	distHist *histogram.Histogram
+	timeHist *histogram.Histogram
+	accesses uint64
+	distinct uint64
+	state    uint64
+	pairs    map[PairKey]*PairAgg
+}
+
+// ReuseDistance returns the exact reuse-distance histogram.
+func (r *ParallelResult) ReuseDistance() *histogram.Histogram { return r.distHist }
+
+// ReuseTime returns the exact reuse-time histogram.
+func (r *ParallelResult) ReuseTime() *histogram.Histogram { return r.timeHist }
+
+// Accesses returns the number of observed accesses.
+func (r *ParallelResult) Accesses() uint64 { return r.accesses }
+
+// DistinctBlocks returns the number of distinct blocks seen.
+func (r *ParallelResult) DistinctBlocks() uint64 { return r.distinct }
+
+// StateBytes approximates the heap state a sequential measurement of the
+// same trace would hold (merge tree of one key per distinct block plus
+// the last-access map model the sequential Profiler uses).
+func (r *ParallelResult) StateBytes() uint64 { return r.state }
+
+// Pairs returns the exact per-code-pair aggregation (nil unless
+// ParallelOptions.Attribution was set).
+func (r *ParallelResult) Pairs() map[PairKey]*PairAgg { return r.pairs }
+
+// blockBoundary is one distinct block's first and last access within a
+// shard, in global timestamps (1-based, as the sequential clock assigns
+// them).
+type blockBoundary struct {
+	block     mem.Addr
+	firstTime uint64
+	lastTime  uint64
+	firstPC   mem.Addr
+	lastPC    mem.Addr
+}
+
+// shardResult is one worker's output for one contiguous shard.
+type shardResult struct {
+	accesses uint64
+	dist     *histogram.Histogram // intra-shard reuses only
+	time     *histogram.Histogram
+	pairs    map[PairKey]*PairAgg // intra-shard pairs (nil without attribution)
+	blocks   []blockBoundary      // distinct blocks, in first-touch order
+}
+
+// measureShard runs local Olken over one shard. startTime is the global
+// timestamp of the access before accs[0] (i.e. accs[k] executes at
+// startTime+k+1), so boundary records carry globally comparable times.
+func measureShard(accs []mem.Access, startTime uint64, g mem.Granularity, attrib bool) *shardResult {
+	sr := &shardResult{
+		accesses: uint64(len(accs)),
+		dist:     histogram.New(),
+		time:     histogram.New(),
+	}
+	if attrib {
+		sr.pairs = make(map[PairKey]*PairAgg)
+	}
+	idx := make(map[mem.Addr]int32)
+	tree := newOSList()
+	for k := range accs {
+		a := &accs[k]
+		t := startTime + uint64(k) + 1
+		b := g.Block(a.Addr)
+		if bi, ok := idx[b]; ok {
+			rec := &sr.blocks[bi]
+			d, _ := tree.CountGreaterAndDelete(rec.lastTime)
+			sr.dist.Add(d, 1)
+			sr.time.Add(t-rec.lastTime, 1)
+			if attrib {
+				key := PairKey{UsePC: rec.lastPC, ReusePC: a.PC}
+				agg := sr.pairs[key]
+				if agg == nil {
+					agg = &PairAgg{}
+					sr.pairs[key] = agg
+				}
+				agg.Count++
+				agg.DistSum += float64(d)
+			}
+			rec.lastTime, rec.lastPC = t, a.PC
+		} else {
+			// First touch within the shard: cold here, but possibly a
+			// cross-shard reuse globally — the merge decides, so no
+			// histogram entry yet.
+			idx[b] = int32(len(sr.blocks))
+			sr.blocks = append(sr.blocks, blockBoundary{
+				block: b, firstTime: t, lastTime: t, firstPC: a.PC, lastPC: a.PC,
+			})
+		}
+		tree.InsertMax(t)
+	}
+	return sr
+}
+
+// merger resolves cross-shard reuses and accumulates global results.
+type merger struct {
+	res  *ParallelResult
+	last map[mem.Addr]lastUse
+	tree *orderTreap // one key per known block: its global last-access time
+}
+
+func newMerger(attrib bool) *merger {
+	m := &merger{
+		res: &ParallelResult{
+			distHist: histogram.New(),
+			timeHist: histogram.New(),
+		},
+		last: make(map[mem.Addr]lastUse),
+		tree: newOrderTreap(1),
+	}
+	if attrib {
+		m.res.pairs = make(map[PairKey]*PairAgg)
+	}
+	return m
+}
+
+func (m *merger) addPair(key PairKey, dist uint64) {
+	agg := m.res.pairs[key]
+	if agg == nil {
+		agg = &PairAgg{}
+		m.res.pairs[key] = agg
+	}
+	agg.Count++
+	agg.DistSum += float64(dist)
+}
+
+// merge folds one shard (shards must arrive in trace order).
+func (m *merger) merge(sr *shardResult) {
+	m.res.accesses += sr.accesses
+	m.res.distHist.AddHistogram(sr.dist)
+	m.res.timeHist.AddHistogram(sr.time)
+	for key, agg := range sr.pairs {
+		g := m.res.pairs[key]
+		if g == nil {
+			g = &PairAgg{}
+			m.res.pairs[key] = g
+		}
+		g.Count += agg.Count
+		g.DistSum += agg.DistSum
+	}
+
+	// Resolve each first touch, in first-touch order. `removed` counts
+	// boundary records already processed: every one of them was accessed
+	// in this shard before the current first touch, hence inside any
+	// cross-shard reuse window ending here.
+	removed := 0
+	for i := range sr.blocks {
+		rec := &sr.blocks[i]
+		if prev, ok := m.last[rec.block]; ok {
+			d := uint64(removed) + m.tree.CountGreater(prev.time)
+			m.res.distHist.Add(d, 1)
+			m.res.timeHist.Add(rec.firstTime-prev.time, 1)
+			if m.res.pairs != nil {
+				m.addPair(PairKey{UsePC: prev.pc, ReusePC: rec.firstPC}, d)
+			}
+			m.tree.Delete(prev.time)
+		} else {
+			m.res.distHist.Add(histogram.Infinite, 1)
+			m.res.timeHist.Add(histogram.Infinite, 1)
+		}
+		removed++
+	}
+	// Publish the shard's last-access times as the new global keys.
+	for i := range sr.blocks {
+		rec := &sr.blocks[i]
+		m.tree.Insert(rec.lastTime)
+		m.last[rec.block] = lastUse{time: rec.lastTime, pc: rec.lastPC}
+	}
+}
+
+func (m *merger) finish() *ParallelResult {
+	const mapEntryBytes = 56 // as Profiler.StateBytes models map[Addr]lastUse
+	m.res.distinct = uint64(len(m.last))
+	m.res.state = m.tree.StateBytes() + uint64(len(m.last))*mapEntryBytes
+	return m.res
+}
+
+// MeasureParallel measures a stream exhaustively like Measure, but
+// fanned out over contiguous trace shards on a bounded worker pool with
+// a sequential exact merge. The histograms, pair aggregation and
+// counters are identical to the sequential measurement for any worker
+// count and shard size.
+func MeasureParallel(r trace.Reader, g mem.Granularity, opt ParallelOptions) (*ParallelResult, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shardSize := opt.ShardSize
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+
+	type job struct {
+		accs  []mem.Access
+		start uint64
+		out   chan *shardResult
+	}
+	jobs := make(chan job, workers)
+	// pending preserves shard order; its capacity (plus the jobs buffer)
+	// bounds in-flight shard memory.
+	pending := make(chan chan *shardResult, workers+1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				jb.out <- measureShard(jb.accs, jb.start, g, opt.Attribution)
+			}
+		}()
+	}
+
+	var readErr error
+	go func() {
+		defer close(pending)
+		defer close(jobs)
+		var start uint64
+		for {
+			accs := make([]mem.Access, shardSize)
+			filled := 0
+			done := false
+			for filled < shardSize {
+				n, err := r.Read(accs[filled:])
+				filled += n
+				if err == io.EOF {
+					done = true
+					break
+				}
+				if err != nil {
+					readErr = err
+					done = true
+					break
+				}
+			}
+			if filled > 0 {
+				out := make(chan *shardResult, 1)
+				pending <- out
+				jobs <- job{accs: accs[:filled], start: start, out: out}
+				start += uint64(filled)
+			}
+			if done {
+				return
+			}
+		}
+	}()
+
+	m := newMerger(opt.Attribution)
+	for out := range pending {
+		m.merge(<-out)
+	}
+	wg.Wait()
+	if readErr != nil {
+		return nil, readErr
+	}
+	return m.finish(), nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/exact"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// EngineBenchRow is one measured configuration of the simulation engine.
+type EngineBenchRow struct {
+	Name        string  `json:"name"`
+	Accesses    uint64  `json:"accesses"`
+	Seconds     float64 `json:"seconds"`
+	AccessesSec float64 `json:"accesses_per_sec"`
+	// SpeedupVsRef is this row's throughput over its reference row
+	// (0 when the row has no reference counterpart).
+	SpeedupVsRef float64 `json:"speedup_vs_ref,omitempty"`
+}
+
+// EngineBenchResult is the machine-readable engine performance record
+// emitted as BENCH_engine.json for the perf trajectory: batched vs
+// reference execution, and parallel vs sequential exact oracle.
+type EngineBenchResult struct {
+	Timestamp  string           `json:"timestamp"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Accesses   uint64           `json:"accesses"`
+	Period     uint64           `json:"period"`
+	Rows       []EngineBenchRow `json:"rows"`
+}
+
+// engineBenchStream is the default synthetic workload for engine
+// throughput: a cyclic sweep over a small working set, so watchpoints
+// resolve quickly and the engine spends most of its time in the
+// skip-ahead path — the regime the featherlight design targets.
+func engineBenchStream(n uint64) trace.Reader {
+	return trace.Cyclic(0, 1<<10, n)
+}
+
+func timeRun(name string, n uint64, f func() error) (EngineBenchRow, error) {
+	start := time.Now()
+	if err := f(); err != nil {
+		return EngineBenchRow{}, fmt.Errorf("%s: %w", name, err)
+	}
+	el := time.Since(start).Seconds()
+	row := EngineBenchRow{Name: name, Accesses: n, Seconds: el}
+	if el > 0 {
+		row.AccessesSec = float64(n) / el
+	}
+	return row, nil
+}
+
+// RunEngineBench measures the simulation engine's throughput: the
+// batched Machine.Run fast path vs the retained per-access reference
+// loop (both under a default-config RDX profiler), and the sharded
+// parallel exact oracle vs sequential Olken.
+func (o Options) RunEngineBench() (*EngineBenchResult, error) {
+	n := o.Accesses
+	res := &EngineBenchResult{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Accesses:   n,
+		Period:     o.Period,
+	}
+	cfg := core.DefaultConfig()
+	cfg.SamplePeriod = o.Period
+	cfg.Seed = o.Seed
+
+	runProfiled := func(name string, ref bool) (EngineBenchRow, error) {
+		p, err := core.NewProfiler(cfg)
+		if err != nil {
+			return EngineBenchRow{}, err
+		}
+		return timeRun(name, n, func() error {
+			if ref {
+				_, err := p.RunReference(engineBenchStream(n), cpumodel.Default())
+				return err
+			}
+			_, err := p.Run(engineBenchStream(n), cpumodel.Default())
+			return err
+		})
+	}
+
+	fast, err := runProfiled("machine-run-batched", false)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := runProfiled("machine-run-reference", true)
+	if err != nil {
+		return nil, err
+	}
+	if ref.AccessesSec > 0 {
+		fast.SpeedupVsRef = fast.AccessesSec / ref.AccessesSec
+	}
+
+	// The exact oracle works per distinct block; a Zipf stream gives it
+	// a realistic skewed footprint.
+	oracleStream := func() trace.Reader { return trace.ZipfAccess(o.Seed, 0, 1<<16, 1.0, n) }
+	seq, err := timeRun("exact-oracle-sequential", n, func() error {
+		_, err := exact.Measure(oracleStream(), mem.WordGranularity)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	par, err := timeRun("exact-oracle-parallel", n, func() error {
+		_, err := exact.MeasureParallel(oracleStream(), mem.WordGranularity, exact.ParallelOptions{})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if seq.AccessesSec > 0 {
+		par.SpeedupVsRef = par.AccessesSec / seq.AccessesSec
+	}
+
+	res.Rows = []EngineBenchRow{fast, ref, seq, par}
+	for _, r := range res.Rows {
+		fmt.Fprintf(o.out(), "%-26s %12d accesses  %8.3fs  %14.0f accesses/sec  %s\n",
+			r.Name, r.Accesses, r.Seconds, r.AccessesSec, speedupNote(r))
+	}
+	return res, nil
+}
+
+func speedupNote(r EngineBenchRow) string {
+	if r.SpeedupVsRef == 0 {
+		return ""
+	}
+	return fmt.Sprintf("(%.2fx)", r.SpeedupVsRef)
+}
+
+// WriteJSON writes the benchmark record to path.
+func (r *EngineBenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

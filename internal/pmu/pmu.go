@@ -50,7 +50,9 @@ func (e EventSelect) String() string {
 	}
 }
 
-func (e EventSelect) matches(a mem.Access) bool {
+// Matches reports whether the event counts access a. The simulated core
+// uses it to count qualifying accesses when bulk-advancing the counter.
+func (e EventSelect) Matches(a mem.Access) bool {
 	switch e {
 	case LoadsOnly:
 		return a.Kind == mem.Load
@@ -147,7 +149,7 @@ func (p *PMU) nextGap() uint64 {
 // interrupt cost accounting).
 func (p *PMU) Tick(a mem.Access) bool {
 	p.allCount++
-	if !p.cfg.Event.matches(a) {
+	if !p.cfg.Event.Matches(a) {
 		return false
 	}
 	p.count++
@@ -182,6 +184,46 @@ func (p *PMU) Tick(a mem.Access) bool {
 	}
 	p.deliver(a)
 	return true
+}
+
+// NoOverflow is the Headroom value of a counter that can never deliver a
+// sample (counting mode, or no handler attached).
+const NoOverflow = ^uint64(0)
+
+// Headroom returns how many further qualifying events the PMU can absorb
+// without delivering a sample: the (Headroom+1)-th qualifying event from
+// now is the one that overflows (or completes the pending skid). It
+// returns NoOverflow when no delivery can ever happen. The simulated core
+// uses this to bulk-advance the counter over event-free stretches.
+func (p *PMU) Headroom() uint64 {
+	if p.skidArmed {
+		// Tick delivers when the decremented countdown reaches zero, so
+		// skidLeft-1 more qualifying events are free. skidLeft >= 1 holds
+		// whenever skidArmed (a zero draw delivers immediately).
+		return uint64(p.skidLeft - 1)
+	}
+	if p.cfg.Period == 0 || p.handler == nil {
+		return NoOverflow
+	}
+	return p.toNext - 1
+}
+
+// Advance bulk-applies `all` accesses of which `qual` qualify for the
+// configured event, without delivering any sample. It is the batched
+// equivalent of `all` Tick calls that all return false, and requires
+// qual <= Headroom(); violating the invariant would silently skip an
+// overflow, so it panics.
+func (p *PMU) Advance(all, qual uint64) {
+	if qual > p.Headroom() {
+		panic(fmt.Sprintf("pmu: Advance(%d qualifying) exceeds headroom %d", qual, p.Headroom()))
+	}
+	p.allCount += all
+	p.count += qual
+	if p.skidArmed {
+		p.skidLeft -= int(qual)
+	} else if p.cfg.Period != 0 && p.handler != nil {
+		p.toNext -= qual
+	}
 }
 
 func (p *PMU) deliver(a mem.Access) {

@@ -22,8 +22,14 @@ type Reader interface {
 	Read(dst []mem.Access) (int, error)
 }
 
+// DefaultBatchSize is the default batch used by helpers that drain a
+// Reader and by the simulated core's batched execution engine. Large
+// enough to amortize Read dispatch, small enough to stay cache-resident
+// (4096 accesses × 16 bytes = 64 KiB).
+const DefaultBatchSize = 4096
+
 // batchSize is the default batch used by helpers that drain a Reader.
-const batchSize = 4096
+const batchSize = DefaultBatchSize
 
 // ErrShortTrace is returned by readers that require a minimum length.
 var ErrShortTrace = errors.New("trace: stream shorter than required")

@@ -138,6 +138,14 @@ func ProfileThreads(streams []Reader, cfg Config) (*MultiResult, error) {
 	return core.ProfileThreads(streams, cfg, cpumodel.Default())
 }
 
+// ProfileThreadsPool is ProfileThreads with an explicit worker-pool
+// size: at most `workers` streams simulate concurrently (workers <= 0
+// selects GOMAXPROCS), so thousands of streams can be profiled without
+// a goroutine per stream. Results are independent of the pool size.
+func ProfileThreadsPool(streams []Reader, cfg Config, workers int) (*MultiResult, error) {
+	return core.ProfileThreadsPool(streams, cfg, cpumodel.Default(), workers)
+}
+
 // ExactResult is the ground-truth measurement of a stream.
 type ExactResult struct {
 	// ReuseDistance and ReuseTime are the exact histograms.
@@ -156,6 +164,25 @@ type ExactResult struct {
 // instrument-every-access cost.
 func Exact(r Reader, g Granularity) (*ExactResult, error) {
 	p, err := exact.Measure(r, g)
+	if err != nil {
+		return nil, fmt.Errorf("rdx: exact measurement: %w", err)
+	}
+	return &ExactResult{
+		ReuseDistance:  p.ReuseDistance(),
+		ReuseTime:      p.ReuseTime(),
+		Accesses:       p.Accesses(),
+		DistinctBlocks: p.DistinctBlocks(),
+		StateBytes:     p.StateBytes(),
+	}, nil
+}
+
+// ExactParallel is Exact fanned out over contiguous trace shards on a
+// bounded worker pool (workers <= 0 selects GOMAXPROCS) with an exact
+// sequential merge: the histograms are bit-identical to Exact's for any
+// worker count, but multi-billion-access traces measure at multicore
+// speed.
+func ExactParallel(r Reader, g Granularity, workers int) (*ExactResult, error) {
+	p, err := exact.MeasureParallel(r, g, exact.ParallelOptions{Workers: workers})
 	if err != nil {
 		return nil, fmt.Errorf("rdx: exact measurement: %w", err)
 	}

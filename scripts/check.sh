@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full verification gate: vet, build, and the complete test suite under
+# the race detector (the engine's worker pools and sharded oracle are
+# concurrent). Run from anywhere; operates on the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
