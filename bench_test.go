@@ -14,6 +14,7 @@ package rdx
 // arbitrary scale.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cache"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/cpumodel"
 	"repro/internal/exact"
 	"repro/internal/experiments"
+	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -354,4 +356,35 @@ func BenchmarkExactOracle(b *testing.B) {
 		}
 		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "accesses/sec")
 	})
+}
+
+// BenchmarkServerThroughput measures end-to-end rdxd streaming over
+// loopback TCP — encode, framing, decode and engine execution — at 1,
+// 4 and 16 concurrent sessions, in aggregate accesses/sec.
+func BenchmarkServerThroughput(b *testing.B) {
+	srv, err := server.New(server.Config{Logf: func(string, ...any) {}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Close()
+
+	cfg := core.DefaultConfig()
+	cfg.SamplePeriod = 8 << 10
+	for _, sessions := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			perSession := (uint64(b.N) + uint64(sessions)) / uint64(sessions)
+			accs, err := trace.Collect(trace.ZipfAccess(1, 0, 1<<14, 1.0, perSession))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total := perSession * uint64(sessions)
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := experiments.StreamSessions(srv.Addr(), sessions, accs, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "accesses/sec")
+		})
+	}
 }

@@ -7,7 +7,8 @@
 //	rdexper -exp all                 # the full evaluation
 //	rdexper -exp T2,F4,F5            # selected experiments
 //	rdexper -n 16777216 -period 32768 -exp T2
-//	rdexper -bench-out BENCH_engine.json   # engine throughput record
+//	rdexper -bench-out BENCH_engine.json   # engine + server throughput records
+//	                                       # (BENCH_server.json lands alongside)
 //	rdexper -list
 package main
 
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -28,7 +30,7 @@ func main() {
 		period   = flag.Uint64("period", 8<<10, "default RDX sampling period")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		benchOut = flag.String("bench-out", "", "run the engine throughput benchmark and write its JSON record to this path (e.g. BENCH_engine.json), then exit")
+		benchOut = flag.String("bench-out", "", "run the engine and server throughput benchmarks and write their JSON records to this path (e.g. BENCH_engine.json; BENCH_server.json is written alongside), then exit")
 	)
 	flag.Parse()
 
@@ -56,6 +58,16 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *benchOut)
+
+		srv, err := opts.RunServerBench()
+		if err != nil {
+			fatal(err)
+		}
+		srvOut := filepath.Join(filepath.Dir(*benchOut), "BENCH_server.json")
+		if err := srv.WriteJSON(srvOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", srvOut)
 		return
 	}
 

@@ -1,11 +1,17 @@
-// Command rdx profiles one suite workload with RDX and (optionally) the
-// exhaustive ground-truth tool, printing reuse histograms, overheads and
-// accuracy.
+// Command rdx profiles one suite workload (or a recorded trace) with
+// RDX — in-process or against an rdxd daemon — and prints reuse
+// histograms, overheads and accuracy.
 //
 // Usage:
 //
 //	rdx -workload mcf -n 4194304 -period 8192 [-exact] [-granularity word]
+//	rdx -trace run.rdt -remote 127.0.0.1:9127 [-snapshot-every 50]
+//	rdx -workload mcf -json > profile.json
 //	rdx -list
+//
+// With -remote the access stream is generated (or replayed) locally and
+// streamed to the daemon; the report is identical to local mode because
+// the daemon runs the identical engine.
 package main
 
 import (
@@ -15,20 +21,25 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "mcf", "suite workload to profile (see -list)")
-		n        = flag.Uint64("n", 4<<20, "number of memory accesses to execute")
-		period   = flag.Uint64("period", 8<<10, "mean sampling period in accesses")
-		nwp      = flag.Int("watchpoints", 4, "number of hardware debug registers")
-		seed     = flag.Uint64("seed", 1, "random seed for workload and profiler")
-		gran     = flag.String("granularity", "word", "measurement granularity: byte, word or line")
-		runExact = flag.Bool("exact", false, "also run the exhaustive ground-truth tool and report accuracy")
-		pairs    = flag.Int("pairs", 0, "print the top N use→reuse code pairs by weight")
-		jsonOut  = flag.String("json", "", "write the profile result (histograms + counters) as JSON to this file")
-		list     = flag.Bool("list", false, "list available workloads and exit")
+		workload  = flag.String("workload", "mcf", "suite workload to profile (see -list)")
+		tracePath = flag.String("trace", "", "replay this recorded RDT3 trace file instead of a generated workload")
+		n         = flag.Uint64("n", 4<<20, "number of memory accesses to execute")
+		period    = flag.Uint64("period", 8<<10, "mean sampling period in accesses")
+		nwp       = flag.Int("watchpoints", 4, "number of hardware debug registers")
+		seed      = flag.Uint64("seed", 1, "random seed for workload and profiler")
+		gran      = flag.String("granularity", "word", "measurement granularity: byte, word or line")
+		runExact  = flag.Bool("exact", false, "also run the exhaustive ground-truth tool and report accuracy")
+		pairs     = flag.Int("pairs", 0, "print the top N use→reuse code pairs by weight")
+		jsonOut   = flag.Bool("json", false, "emit the machine-readable result (histograms, counters, overheads, accuracy) to stdout instead of the report")
+		jsonFile  = flag.String("json-file", "", "additionally write the machine-readable result to this file")
+		remote    = flag.String("remote", "", "profile via the rdxd daemon at this address instead of in-process")
+		snapEvery = flag.Int("snapshot-every", 0, "with -remote: print a live snapshot line every N batches")
+		list      = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
 
@@ -50,97 +61,127 @@ func main() {
 	cfg.Granularity = g
 	cfg.Seed = *seed
 
-	stream, err := rdx.Workload(*workload, *seed, *n)
-	if err != nil {
-		fatal(err)
+	// openStream is callable more than once (-exact needs a second pass).
+	openStream := func() rdx.Reader {
+		if *tracePath != "" {
+			f, err := os.Open(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			r, err := trace.NewReader(f)
+			if err != nil {
+				fatal(err)
+			}
+			return r
+		}
+		stream, err := rdx.Workload(*workload, *seed, *n)
+		if err != nil {
+			fatal(err)
+		}
+		return stream
 	}
-	res, err := rdx.Profile(stream, cfg)
-	if err != nil {
-		fatal(err)
+	source := *workload
+	if *tracePath != "" {
+		source = *tracePath
 	}
 
-	fmt.Printf("workload %s: %d accesses, period %d, %d watchpoints, %s granularity\n",
-		*workload, res.Accesses, *period, *nwp, g)
+	var res *rdx.RemoteResult
+	if *remote != "" {
+		opts := rdx.RemoteOptions{SnapshotEvery: *snapEvery}
+		if *snapEvery > 0 && !*jsonOut {
+			opts.OnSnapshot = func(s *rdx.RemoteResult) {
+				fmt.Printf("snapshot: %d accesses, %d samples, %d reuse pairs, overhead %.2f%%\n",
+					s.Accesses, s.Samples, s.ReusePairs, 100*s.TimeOverhead)
+			}
+		}
+		res, err = rdx.ProfileRemote(*remote, openStream(), cfg, opts)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		local, err := rdx.Profile(openStream(), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res = rdx.ResultToRemote(local)
+	}
+
+	out := jsonResult{Source: source, Remote: *remote, RemoteResult: res}
+	if *runExact {
+		gt, err := rdx.Exact(openStream(), g)
+		if err != nil {
+			fatal(err)
+		}
+		acc := rdx.Accuracy(res.ReuseDistance, gt.ReuseDistance)
+		out.Accuracy = &acc
+		out.GroundTruth = gt.ReuseDistance
+		out.DistinctBlocks = gt.DistinctBlocks
+	}
+
+	if *jsonFile != "" {
+		if err := writeJSONFile(*jsonFile, out); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	printReport(out, *pairs)
+	if *jsonFile != "" {
+		fmt.Printf("\nwrote JSON profile to %s\n", *jsonFile)
+	}
+}
+
+func printReport(out jsonResult, pairs int) {
+	res := out.RemoteResult
+	where := "local"
+	if out.Remote != "" {
+		where = "rdxd @ " + out.Remote
+	}
+	fmt.Printf("%s (%s): %d accesses, period %d, %d watchpoints, %s granularity\n",
+		out.Source, where, res.Accesses, res.Config.SamplePeriod, res.Config.NumWatchpoints, res.Config.Granularity)
 	fmt.Printf("samples=%d armed=%d traps=%d reuse-pairs=%d cold=%d dropped=%d\n",
 		res.Samples, res.ArmedSamples, res.Traps, res.ReusePairs, res.ColdSamples, res.Dropped)
-	fmt.Printf("modelled time overhead: %.2f%%\n", 100*res.TimeOverhead())
+	fmt.Printf("modelled time overhead: %.2f%%\n", 100*res.TimeOverhead)
 	fmt.Printf("\nRDX reuse-distance histogram:\n%s", res.ReuseDistance)
 
-	if *pairs > 0 {
-		fmt.Printf("\ntop %d use→reuse code pairs (by carried weight):\n", *pairs)
+	if pairs > 0 {
+		fmt.Printf("\ntop %d use→reuse code pairs (by carried weight):\n", pairs)
 		fmt.Printf("%-12s %-12s %10s %12s %12s\n", "use PC", "reuse PC", "count", "mean RD", "weight")
-		for _, p := range res.Attribution.TopWeight(*pairs) {
+		for _, p := range res.Attribution.TopWeight(pairs) {
 			fmt.Printf("%#-12x %#-12x %10d %12.0f %12.0f\n",
 				uint64(p.Pair.UsePC), uint64(p.Pair.ReusePC), p.Count, p.MeanDistance, p.Weight)
 		}
 	}
 
-	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, *workload, res); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("\nwrote JSON profile to %s\n", *jsonOut)
-	}
-
-	if *runExact {
-		stream, err := rdx.Workload(*workload, *seed, *n)
-		if err != nil {
-			fatal(err)
-		}
-		gt, err := rdx.Exact(stream, g)
-		if err != nil {
-			fatal(err)
-		}
+	if out.Accuracy != nil {
 		fmt.Printf("\nground-truth reuse-distance histogram (%d distinct blocks):\n%s",
-			gt.DistinctBlocks, gt.ReuseDistance)
-		fmt.Printf("\naccuracy: %.4f\n", rdx.Accuracy(res.ReuseDistance, gt.ReuseDistance))
+			out.DistinctBlocks, out.GroundTruth)
+		fmt.Printf("\naccuracy: %.4f\n", *out.Accuracy)
 	}
 }
 
-// jsonProfile is the serialized form of a profile result.
-type jsonProfile struct {
-	Workload      string         `json:"workload"`
-	Accesses      uint64         `json:"accesses"`
-	SamplePeriod  uint64         `json:"sample_period"`
-	Samples       uint64         `json:"samples"`
-	ReusePairs    uint64         `json:"reuse_pairs"`
-	ColdSamples   uint64         `json:"cold_samples"`
-	TimeOverhead  float64        `json:"time_overhead"`
-	ReuseDistance *rdx.Histogram `json:"reuse_distance"`
-	ReuseTime     *rdx.Histogram `json:"reuse_time"`
-	Attribution   []jsonPair     `json:"attribution,omitempty"`
+// jsonResult is the -json output: the wire-format profile plus what the
+// CLI layered on top (stream source, optional ground truth).
+type jsonResult struct {
+	// Source is the workload name or trace path that was profiled.
+	Source string `json:"source"`
+	// Remote is the rdxd address, or "" for an in-process run.
+	Remote string `json:"remote,omitempty"`
+	*rdx.RemoteResult
+	Accuracy       *float64       `json:"accuracy,omitempty"`
+	GroundTruth    *rdx.Histogram `json:"ground_truth,omitempty"`
+	DistinctBlocks uint64         `json:"distinct_blocks,omitempty"`
 }
 
-type jsonPair struct {
-	UsePC        uint64  `json:"use_pc"`
-	ReusePC      uint64  `json:"reuse_pc"`
-	Count        uint64  `json:"count"`
-	Weight       float64 `json:"weight"`
-	MeanDistance float64 `json:"mean_distance"`
-}
-
-func writeJSON(path, workload string, res *rdx.Result) error {
-	jp := jsonProfile{
-		Workload:      workload,
-		Accesses:      res.Accesses,
-		SamplePeriod:  res.Config.SamplePeriod,
-		Samples:       res.Samples,
-		ReusePairs:    res.ReusePairs,
-		ColdSamples:   res.ColdSamples,
-		TimeOverhead:  res.TimeOverhead(),
-		ReuseDistance: res.ReuseDistance,
-		ReuseTime:     res.ReuseTime,
-	}
-	for _, p := range res.Attribution {
-		jp.Attribution = append(jp.Attribution, jsonPair{
-			UsePC:        uint64(p.Pair.UsePC),
-			ReusePC:      uint64(p.Pair.ReusePC),
-			Count:        p.Count,
-			Weight:       p.Weight,
-			MeanDistance: p.MeanDistance,
-		})
-	}
-	data, err := json.MarshalIndent(jp, "", "  ")
+func writeJSONFile(path string, out jsonResult) error {
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,71 @@
+// Command rdxd is the RDX remote-profiling daemon: it accepts streamed
+// access traces over the wire protocol, profiles each session with the
+// batched engine, and serves health and metrics endpoints for
+// operations.
+//
+// Usage:
+//
+//	rdxd [-addr 127.0.0.1:9127] [-admin 127.0.0.1:9128] [-workers 4]
+//	     [-queue-depth 8] [-max-sessions 64] [-drain-timeout 30s]
+//
+// SIGTERM or SIGINT drains the daemon: new sessions are refused,
+// in-flight sessions get -drain-timeout to finish, stragglers are cut
+// off. /healthz reports 503 from the moment draining starts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:9127", "profiling listener address")
+		admin        = flag.String("admin", "127.0.0.1:9128", "admin (healthz/metrics) listener address; empty disables")
+		workers      = flag.Int("workers", 4, "concurrent engine executions across all sessions")
+		queueDepth   = flag.Int("queue-depth", 8, "per-session bounded batch queue depth")
+		maxBatch     = flag.Int("max-batch", 1<<20, "largest accepted batch, in accesses")
+		maxSessions  = flag.Int("max-sessions", 64, "concurrent session limit")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight sessions get to finish on shutdown")
+	)
+	flag.Parse()
+
+	s, err := server.New(server.Config{
+		Addr:        *addr,
+		AdminAddr:   *admin,
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		MaxBatch:    *maxBatch,
+		MaxSessions: *maxSessions,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdxd:", err)
+		os.Exit(1)
+	}
+	s.Start()
+	log.Printf("rdxd: profiling on %s", s.Addr())
+	if a := s.AdminAddr(); a != "" {
+		log.Printf("rdxd: admin on http://%s (/healthz, /metrics)", a)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	log.Printf("rdxd: %s received, draining (timeout %s)", got, *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		log.Printf("rdxd: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("rdxd: drained cleanly")
+}

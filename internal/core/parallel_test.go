@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cpumodel"
 	"repro/internal/exact"
@@ -191,4 +194,92 @@ func TestProfileThreadsPoolBoundsWorkers(t *testing.T) {
 	if !reflect.DeepEqual(narrow.ReuseDistance, wide.ReuseDistance) {
 		t.Fatal("merged histogram depends on pool size")
 	}
+}
+
+// failingReader yields `good` accesses, then fails with a permanent
+// error — a stand-in for a stream whose source (file, socket) dies
+// mid-run.
+type failingReader struct {
+	good int
+	err  error
+}
+
+func (f *failingReader) Read(dst []mem.Access) (int, error) {
+	n := 0
+	for n < len(dst) && f.good > 0 {
+		dst[n] = mem.Access{Addr: mem.Addr(n) * 8, Size: 8}
+		n++
+		f.good--
+	}
+	if f.good == 0 && n < len(dst) {
+		return n, f.err
+	}
+	return n, nil
+}
+
+func TestProfileThreadsPoolEdgeCases(t *testing.T) {
+	cfg := testConfig(500)
+	costs := cpumodel.Default()
+
+	t.Run("no streams", func(t *testing.T) {
+		if _, err := ProfileThreadsPool(nil, cfg, costs, 4); err == nil {
+			t.Error("empty stream slice accepted")
+		}
+		if _, err := ProfileThreadsPool([]trace.Reader{}, cfg, costs, 4); err == nil {
+			t.Error("zero-length stream slice accepted")
+		}
+	})
+
+	t.Run("workers non-positive selects GOMAXPROCS", func(t *testing.T) {
+		mk := func() []trace.Reader {
+			return []trace.Reader{
+				trace.Cyclic(0, 300, 50000),
+				trace.Cyclic(1<<40, 300, 50000),
+			}
+		}
+		for _, w := range []int{0, -1, -100} {
+			got, err := ProfileThreadsPool(mk(), cfg, costs, w)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			want, err := ProfileThreadsPool(mk(), cfg, costs, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.ReuseDistance, want.ReuseDistance) {
+				t.Errorf("workers=%d: result differs from explicit pool", w)
+			}
+		}
+	})
+
+	t.Run("stream error surfaces without deadlock", func(t *testing.T) {
+		streamErr := errors.New("stream died mid-run")
+		streams := []trace.Reader{
+			trace.Cyclic(0, 300, 30000),
+			&failingReader{good: 10000, err: streamErr},
+			trace.Cyclic(1<<40, 300, 30000),
+			trace.Cyclic(2<<40, 300, 30000),
+		}
+		done := make(chan struct{})
+		var res *MultiResult
+		var err error
+		go func() {
+			defer close(done)
+			res, err = ProfileThreadsPool(streams, cfg, costs, 2)
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("ProfileThreadsPool deadlocked on a failing stream")
+		}
+		if err == nil {
+			t.Fatalf("failing stream produced no error (res=%v)", res)
+		}
+		if !errors.Is(err, streamErr) {
+			t.Errorf("error does not wrap the stream's error: %v", err)
+		}
+		if !strings.Contains(err.Error(), "thread 1") {
+			t.Errorf("error does not name the failing thread: %v", err)
+		}
+	})
 }

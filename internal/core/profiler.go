@@ -213,7 +213,8 @@ func (p *Profiler) RunReference(r trace.Reader, costs cpumodel.Costs) (*Result, 
 // Result finalizes the session: still-armed watchpoints become cold
 // (never reused) observations, reuse times are expanded into weighted
 // histograms, and the footprint model converts times to distances.
-// It may be called once.
+// It may be called once. For intermediate results during a live run,
+// use Snapshot, which does not finalize.
 func (p *Profiler) Result() *Result {
 	if p.finished {
 		panic("core: Result called twice")
@@ -236,7 +237,41 @@ func (p *Profiler) Result() *Result {
 			p.drs.Disarm(i)
 		}
 	}
+	return p.buildResult(p.cold, p.endCensored)
+}
 
+// Snapshot returns the result the session would report if the program
+// ended now, without stopping it: still-armed watchpoints are projected
+// to cold/end-censored observations (as Result does) but stay armed, no
+// internal state is mutated, and profiling continues unaffected. It may
+// be called any number of times — a live profiling service serves
+// intermediate reuse-distance histograms this way.
+//
+// Snapshot must not run concurrently with the machine executing
+// accesses: call it from the goroutine driving the machine, between
+// Execute batches (or inside a Reader.Read, where the machine is
+// quiescent).
+func (p *Profiler) Snapshot() *Result {
+	cold := p.cold
+	endCensored := append([]uint64(nil), p.endCensored...)
+	nowCount := p.pmuUnit.Count()
+	for i := 0; i < p.drs.NumSlots(); i++ {
+		if p.drs.IsArmed(i) {
+			cold++
+			if elapsed := nowCount - p.slots[i].c0; elapsed > 0 {
+				endCensored = append(endCensored, elapsed)
+			}
+		}
+	}
+	return p.buildResult(cold, endCensored)
+}
+
+// buildResult expands the session's observations into the weighted
+// histograms, attribution and overhead accounting of a Result. It reads
+// but never mutates profiler state; cold and endCensored are passed
+// explicitly because Result and Snapshot project still-armed watchpoints
+// differently (permanently vs speculatively).
+func (p *Profiler) buildResult(cold uint64, endCensored []uint64) *Result {
 	accesses := uint64(0)
 	if p.machine != nil {
 		accesses = p.machine.Account().Accesses
@@ -253,9 +288,9 @@ func (p *Profiler) Result() *Result {
 	times := p.times
 	var coldWeight float64
 	if p.cfg.BiasCorrection {
-		coldWeight = p.redistributeCensored(weights)
+		coldWeight = redistributeCensored(p.times, p.censored, endCensored, weights)
 	} else {
-		coldWeight = float64(p.cold)
+		coldWeight = float64(cold)
 	}
 
 	// Normalize total mass to the program's access count: each retained
@@ -316,7 +351,7 @@ func (p *Profiler) Result() *Result {
 		ArmedSamples:  p.armed,
 		Traps:         p.traps,
 		ReusePairs:    uint64(len(p.times)),
-		ColdSamples:   p.cold,
+		ColdSamples:   cold,
 		Dropped:       p.dropped,
 		Evicted:       p.evicted,
 		Duplicates:    p.duplicate,
@@ -324,15 +359,17 @@ func (p *Profiler) Result() *Result {
 	if p.machine != nil {
 		res.Account = p.machine.Account()
 	}
-	res.StateBytes = p.stateBytes()
+	res.StateBytes = p.StateBytes()
 	return res
 }
 
-// stateBytes models RDX's memory footprint: fixed runtime state plus the
-// per-observation logs and per-slot bookkeeping. All four observation
-// logs count at their allocated capacity — times, censored and
-// endCensored hold 8-byte values, pcs holds 16-byte use→reuse PC pairs.
-func (p *Profiler) stateBytes() uint64 {
+// StateBytes models RDX's current memory footprint: fixed runtime state
+// plus the per-observation logs and per-slot bookkeeping. All four
+// observation logs count at their allocated capacity — times, censored
+// and endCensored hold 8-byte values, pcs holds 16-byte use→reuse PC
+// pairs. It is safe to call mid-run (the profiling service exposes it as
+// a per-session gauge), from the goroutine driving the machine.
+func (p *Profiler) StateBytes() uint64 {
 	perSlot := uint64(len(p.slots)) * 24 // block, usePC, c0
 	logs := uint64(cap(p.times)+cap(p.censored)+cap(p.endCensored))*8 +
 		uint64(cap(p.pcs))*16
@@ -357,27 +394,31 @@ func (p *Profiler) stateBytes() uint64 {
 // has accumulated exactly the multipliers of all earlier censoring
 // points, so a single running multiplier gives each redistribution's
 // denominator in O((n+c)·log n) total.
-func (p *Profiler) redistributeCensored(weights []float64) (coldWeight float64) {
+//
+// It is a pure function of its inputs (weights is the only output
+// besides the returned cold weight; censoredIn and endCensored are
+// never mutated), so Result and Snapshot can share it.
+func redistributeCensored(times, censoredIn, endCensored []uint64, weights []float64) (coldWeight float64) {
 	// Combined value line: completed observations (idx >= 0 into
 	// weights) and end-censored observations (idx < 0 into endW).
 	type obsRef struct {
 		v   uint64
 		idx int // >= 0: weights[idx]; < 0: endW[-idx-1]
 	}
-	endW := make([]float64, len(p.endCensored))
+	endW := make([]float64, len(endCensored))
 	for i := range endW {
 		endW[i] = 1
 	}
-	line := make([]obsRef, 0, len(p.times)+len(p.endCensored))
-	for i, t := range p.times {
+	line := make([]obsRef, 0, len(times)+len(endCensored))
+	for i, t := range times {
 		line = append(line, obsRef{v: t, idx: i})
 	}
-	for i, e := range p.endCensored {
+	for i, e := range endCensored {
 		line = append(line, obsRef{v: e, idx: -i - 1})
 	}
 	sort.Slice(line, func(a, b int) bool { return line[a].v < line[b].v })
 
-	censored := append([]uint64(nil), p.censored...)
+	censored := append([]uint64(nil), censoredIn...)
 	sort.Slice(censored, func(a, b int) bool { return censored[a] < censored[b] })
 
 	// suffixCount(E) = observations (either kind) with value > E.

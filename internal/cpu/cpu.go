@@ -130,6 +130,26 @@ func (m *Machine) Run(r trace.Reader) error {
 	return nil
 }
 
+// Execute runs one batch of accesses through the batched engine. It is
+// the incremental form of Run for programs whose accesses arrive over
+// time (e.g. streamed over a network session): call Execute for each
+// batch in order, then Finish exactly once after the last. Results are
+// bit-identical to a single Run over the concatenated batches —
+// execution state (PMU headroom, pending bulk advances) carries across
+// calls. Not safe for concurrent use; all calls must come from one
+// goroutine.
+func (m *Machine) Execute(batch []mem.Access) {
+	if len(batch) == 0 {
+		return
+	}
+	m.executeBatch(batch)
+}
+
+// Finish settles end-of-run accounting after the last Execute call.
+// Run and RunReference call it internally; only incremental (Execute)
+// drivers call it directly.
+func (m *Machine) Finish() { m.finish() }
+
 // RunReference executes the stream with the pre-batching per-access
 // loop: one closure dispatch, one full watchpoint check and one PMU tick
 // per access. It is retained as the executable specification of the

@@ -133,6 +133,47 @@ func TestBatchedEngineMatchesReference(t *testing.T) {
 	}
 }
 
+// TestIncrementalExecuteMatchesRun drives the machine with Execute over
+// irregular batch boundaries (including tiny and empty batches, the
+// shapes a network session delivers) and requires results bit-identical
+// to a single Run over the same stream.
+func TestIncrementalExecuteMatchesRun(t *testing.T) {
+	costs := cpumodel.Default()
+	cfg := pmu.Config{Event: pmu.AllAccesses, Period: 64, Randomize: true, Seed: 13}
+	accs := randomTrace(99, 30011, 96)
+
+	whole := newRDXLike(cfg, 4, costs)
+	if err := whole.m.Run(trace.FromSlice(accs)); err != nil {
+		t.Fatal(err)
+	}
+
+	inc := newRDXLike(cfg, 4, costs)
+	rng := stats.NewRNG(5)
+	for pos := 0; pos < len(accs); {
+		n := int(rng.Uint64n(700)) // 0 is a legal (no-op) batch
+		if pos+n > len(accs) {
+			n = len(accs) - pos
+		}
+		inc.m.Execute(accs[pos : pos+n])
+		pos += n
+	}
+	inc.m.Finish()
+
+	if !reflect.DeepEqual(whole.events, inc.events) {
+		t.Fatalf("event logs diverge: whole %d events, incremental %d events",
+			len(whole.events), len(inc.events))
+	}
+	if !reflect.DeepEqual(whole.m.Account(), inc.m.Account()) {
+		t.Fatalf("accounts diverge:\nwhole=%+v\ninc  =%+v", whole.m.Account(), inc.m.Account())
+	}
+	if whole.p.Count() != inc.p.Count() || whole.p.Samples() != inc.p.Samples() {
+		t.Fatalf("PMU counters diverge")
+	}
+	if whole.m.AccessIndex() != inc.m.AccessIndex() {
+		t.Fatalf("final AccessIndex: whole=%d inc=%d", whole.m.AccessIndex(), inc.m.AccessIndex())
+	}
+}
+
 func head(ev []event) []event {
 	if len(ev) > 8 {
 		return ev[:8]

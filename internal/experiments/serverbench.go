@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/server"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// ServerBenchRow is one measured concurrency level of the rdxd
+// streaming service over loopback TCP.
+type ServerBenchRow struct {
+	Sessions    int     `json:"sessions"`
+	Accesses    uint64  `json:"accesses"` // total across all sessions
+	Seconds     float64 `json:"seconds"`
+	AccessesSec float64 `json:"accesses_per_sec"`
+	// ScalingVs1 is this row's throughput over the single-session row.
+	ScalingVs1 float64 `json:"scaling_vs_1,omitempty"`
+}
+
+// ServerBenchResult is the machine-readable service performance record
+// emitted as BENCH_server.json: end-to-end streaming throughput
+// (encode, loopback TCP, decode, engine) at increasing session
+// concurrency, with the worker pool as the scaling limit.
+type ServerBenchResult struct {
+	Timestamp  string           `json:"timestamp"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Workers    int              `json:"workers"`
+	Accesses   uint64           `json:"accesses"`
+	Period     uint64           `json:"period"`
+	Rows       []ServerBenchRow `json:"rows"`
+}
+
+// StreamSessions drives `sessions` concurrent remote profiling runs of
+// perSession accesses each against addr and returns the first error.
+// Shared by RunServerBench and the root BenchmarkServerThroughput.
+func StreamSessions(addr string, sessions int, perSession []mem.Access, cfg core.Config) error {
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := wire.Dial(addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			_, errs[i] = c.Profile(trace.FromSlice(perSession), cfg, wire.ProfileOptions{BatchSize: 8192})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunServerBench measures rdxd streaming throughput over loopback at 1,
+// 4 and 16 concurrent sessions. Total work is held constant across
+// rows (o.Accesses accesses split evenly), so ScalingVs1 isolates how
+// well the worker pool overlaps sessions.
+func (o Options) RunServerBench() (*ServerBenchResult, error) {
+	workers := runtime.GOMAXPROCS(0)
+	res := &ServerBenchResult{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: workers,
+		Workers:    workers,
+		Accesses:   o.Accesses,
+		Period:     o.Period,
+	}
+	cfg := core.DefaultConfig()
+	cfg.SamplePeriod = o.Period
+	cfg.Seed = o.Seed
+
+	s, err := server.New(server.Config{
+		Workers: workers,
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Start()
+	defer s.Close()
+
+	for _, sessions := range []int{1, 4, 16} {
+		n := o.Accesses / uint64(sessions)
+		accs, err := trace.Collect(trace.ZipfAccess(o.Seed, 0, 1<<14, 1.0, n))
+		if err != nil {
+			return nil, err
+		}
+		total := n * uint64(sessions)
+		start := time.Now()
+		if err := StreamSessions(s.Addr(), sessions, accs, cfg); err != nil {
+			return nil, fmt.Errorf("server bench (%d sessions): %w", sessions, err)
+		}
+		el := time.Since(start).Seconds()
+		row := ServerBenchRow{Sessions: sessions, Accesses: total, Seconds: el}
+		if el > 0 {
+			row.AccessesSec = float64(total) / el
+		}
+		if len(res.Rows) > 0 && res.Rows[0].AccessesSec > 0 {
+			row.ScalingVs1 = row.AccessesSec / res.Rows[0].AccessesSec
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	for _, r := range res.Rows {
+		note := ""
+		if r.ScalingVs1 != 0 {
+			note = fmt.Sprintf("(%.2fx vs 1 session)", r.ScalingVs1)
+		}
+		fmt.Fprintf(o.out(), "server-%02d-sessions         %12d accesses  %8.3fs  %14.0f accesses/sec  %s\n",
+			r.Sessions, r.Accesses, r.Seconds, r.AccessesSec, note)
+	}
+	return res, nil
+}
+
+// WriteJSON writes the benchmark record to path.
+func (r *ServerBenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the server-wide counters behind /metrics. Everything is
+// an atomic so the hot paths (reader, runner) never take a lock for
+// accounting.
+type metrics struct {
+	sessionsActive atomic.Int64
+	sessionsTotal  atomic.Uint64
+	accessesTotal  atomic.Uint64
+	batchesTotal   atomic.Uint64
+	droppedBatches atomic.Uint64
+	snapshotsTotal atomic.Uint64
+	bytesIn        atomic.Uint64
+	peakQueueDepth atomic.Int64
+
+	rateMu       sync.Mutex
+	accessRate   float64 // accesses/sec over the last sample window
+	lastAccesses uint64
+	lastSample   time.Time
+}
+
+// noteQueueDepth records a high-water mark of a session queue at
+// enqueue time.
+func (m *metrics) noteQueueDepth(depth int) {
+	for {
+		cur := m.peakQueueDepth.Load()
+		if int64(depth) <= cur || m.peakQueueDepth.CompareAndSwap(cur, int64(depth)) {
+			return
+		}
+	}
+}
+
+// rateLoop samples accessesTotal once per second to derive
+// accesses/sec, until stop closes.
+func (m *metrics) rateLoop(stop <-chan struct{}) {
+	m.rateMu.Lock()
+	m.lastSample = time.Now()
+	m.rateMu.Unlock()
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			total := m.accessesTotal.Load()
+			m.rateMu.Lock()
+			if dt := now.Sub(m.lastSample).Seconds(); dt > 0 {
+				m.accessRate = float64(total-m.lastAccesses) / dt
+			}
+			m.lastAccesses = total
+			m.lastSample = now
+			m.rateMu.Unlock()
+		}
+	}
+}
+
+// SessionMetrics is the live state of one session as seen by /metrics.
+type SessionMetrics struct {
+	ID         uint64 `json:"id"`
+	Accesses   uint64 `json:"accesses"`
+	StateBytes uint64 `json:"state_bytes"`
+}
+
+// Metrics is the /metrics payload.
+type Metrics struct {
+	SessionsActive int64            `json:"sessions_active"`
+	SessionsTotal  uint64           `json:"sessions_total"`
+	AccessesTotal  uint64           `json:"accesses_total"`
+	AccessesPerSec float64          `json:"accesses_per_sec"`
+	BatchesTotal   uint64           `json:"batches_total"`
+	DroppedBatches uint64           `json:"dropped_batches"`
+	SnapshotsTotal uint64           `json:"snapshots_total"`
+	BytesIn        uint64           `json:"bytes_in"`
+	PeakQueueDepth int64            `json:"peak_queue_depth"`
+	Draining       bool             `json:"draining"`
+	Sessions       []SessionMetrics `json:"sessions"`
+}
+
+// MetricsSnapshot assembles the current metrics, including the
+// per-session gauges.
+func (s *Server) MetricsSnapshot() Metrics {
+	s.mu.Lock()
+	sessions := make([]SessionMetrics, 0, len(s.sessions))
+	for id, sess := range s.sessions {
+		sessions = append(sessions, SessionMetrics{
+			ID:         id,
+			Accesses:   sess.accesses.Load(),
+			StateBytes: sess.stateBytes.Load(),
+		})
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID < sessions[j].ID })
+
+	m := &s.metrics
+	m.rateMu.Lock()
+	rate := m.accessRate
+	m.rateMu.Unlock()
+	return Metrics{
+		SessionsActive: m.sessionsActive.Load(),
+		SessionsTotal:  m.sessionsTotal.Load(),
+		AccessesTotal:  m.accessesTotal.Load(),
+		AccessesPerSec: rate,
+		BatchesTotal:   m.batchesTotal.Load(),
+		DroppedBatches: m.droppedBatches.Load(),
+		SnapshotsTotal: m.snapshotsTotal.Load(),
+		BytesIn:        m.bytesIn.Load(),
+		PeakQueueDepth: m.peakQueueDepth.Load(),
+		Draining:       draining,
+		Sessions:       sessions,
+	}
+}

@@ -1,0 +1,487 @@
+// Package server implements rdxd, the streaming remote-profiling
+// service: it accepts wire-protocol sessions over TCP, feeds each
+// session's access batches through the batched cpu.Machine engine, and
+// answers live snapshot requests from core.Profiler.Snapshot.
+//
+// # Concurrency model
+//
+// Each connection owns two goroutines: a reader that decodes frames
+// into a bounded per-session queue, and a runner that drains the queue,
+// executes batches, and writes every reply frame (single-writer, so
+// replies never interleave). Engine execution across all sessions is
+// bounded by a semaphore of Config.Workers slots; sessions beyond that
+// wait their turn. Backpressure is emergent: a full session queue
+// blocks the reader, the kernel's TCP window fills, and the client's
+// SendBatch blocks — per-session server memory stays bounded by
+// QueueDepth×MaxBatch regardless of how fast the client produces.
+//
+// # Drain semantics
+//
+// Shutdown stops accepting connections and waits for in-flight
+// sessions to Finish naturally. Sessions still open when the context
+// expires are force-closed. The admin /healthz endpoint reports 503
+// from the moment draining starts, so load balancers stop routing new
+// sessions before the listener closes.
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/mem"
+	"repro/internal/wire"
+)
+
+// Config configures an rdxd server. The zero value is usable for
+// tests: it listens on an ephemeral loopback port with defaults.
+type Config struct {
+	// Addr is the profiling listener address (default "127.0.0.1:0").
+	Addr string
+	// AdminAddr, when non-empty, serves /healthz and /metrics on a
+	// separate HTTP listener.
+	AdminAddr string
+	// Workers bounds concurrent engine execution across all sessions
+	// (default GOMAXPROCS via runtime behavior of 0 → numCPU is not
+	// assumed; 0 means 4).
+	Workers int
+	// QueueDepth is the per-session bounded batch queue (default 8).
+	// Together with MaxBatch it caps per-session buffered memory.
+	QueueDepth int
+	// MaxBatch is the largest accepted batch, in accesses (default
+	// 1<<20). Larger batches are a protocol error.
+	MaxBatch int
+	// MaxSessions bounds concurrent sessions (default 64); further
+	// opens are refused with a wire error.
+	MaxSessions int
+	// Costs is the CPU cost model sessions run under (default
+	// cpumodel.Default()).
+	Costs *cpumodel.Costs
+	// StepDelay, when set, sleeps after executing each batch while
+	// still holding the worker slot. Test hook: it makes the engine
+	// slow so backpressure is observable.
+	StepDelay time.Duration
+	// Logf receives server diagnostics (default log.Printf; use a
+	// no-op in tests).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1 << 20
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.Costs == nil {
+		d := cpumodel.Default()
+		c.Costs = &d
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Server is an rdxd instance.
+type Server struct {
+	cfg     Config
+	ln      net.Listener
+	adminLn net.Listener
+	admin   *http.Server
+	sem     chan struct{} // worker slots
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	nextID   uint64
+	draining bool
+	closed   bool
+
+	wg       sync.WaitGroup // accept loop + one per connection
+	metrics  metrics
+	stopRate chan struct{}
+}
+
+// New creates a server and binds its listeners; connections are not
+// accepted until Start.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listening on %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		sem:      make(chan struct{}, cfg.Workers),
+		sessions: make(map[uint64]*session),
+		stopRate: make(chan struct{}),
+	}
+	if cfg.AdminAddr != "" {
+		adminLn, err := net.Listen("tcp", cfg.AdminAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("server: admin listener on %s: %w", cfg.AdminAddr, err)
+		}
+		s.adminLn = adminLn
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", s.handleHealthz)
+		mux.HandleFunc("/metrics", s.handleMetrics)
+		s.admin = &http.Server{Handler: mux}
+	}
+	return s, nil
+}
+
+// Addr is the profiling listener's bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// AdminAddr is the admin listener's bound address, or "" if disabled.
+func (s *Server) AdminAddr() string {
+	if s.adminLn == nil {
+		return ""
+	}
+	return s.adminLn.Addr().String()
+}
+
+// Start launches the accept loop (and admin server, if configured) in
+// the background and returns immediately.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.acceptLoop()
+	go s.metrics.rateLoop(s.stopRate)
+	if s.admin != nil {
+		go func() {
+			if err := s.admin.Serve(s.adminLn); err != nil && err != http.ErrServerClosed {
+				s.cfg.Logf("rdxd: admin server: %v", err)
+			}
+		}()
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: shutting down
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown drains the server: it stops accepting connections, waits
+// for in-flight sessions to finish, and force-closes any still open
+// when ctx expires. It is the SIGTERM path.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+	s.ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Sessions that did not finish in time lose their connection;
+		// their state is freed on the way out.
+		s.mu.Lock()
+		n := len(s.sessions)
+		for _, sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		err = fmt.Errorf("server: drain deadline passed with %d sessions open", n)
+		<-done
+	}
+	s.finishClose()
+	return err
+}
+
+// Close force-closes everything without draining.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	for _, sess := range s.sessions {
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+	s.finishClose()
+	return nil
+}
+
+func (s *Server) finishClose() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	close(s.stopRate)
+	if s.admin != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		s.admin.Shutdown(ctx)
+	}
+}
+
+// register admits a new session, or explains why it can't.
+func (s *Server) register(sess *session) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return 0, fmt.Errorf("server draining")
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return 0, fmt.Errorf("session limit reached (%d)", s.cfg.MaxSessions)
+	}
+	s.nextID++
+	s.sessions[s.nextID] = sess
+	s.metrics.sessionsTotal.Add(1)
+	s.metrics.sessionsActive.Add(1)
+	return s.nextID, nil
+}
+
+func (s *Server) unregister(id uint64) {
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if ok {
+		s.metrics.sessionsActive.Add(-1)
+	}
+}
+
+// handleConn owns one connection: the open handshake inline, then the
+// reader/runner goroutine pair.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	br := bufio.NewReaderSize(conn, 256<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	reject := func(err error) {
+		wire.WriteFrame(bw, wire.FrameError, []byte(err.Error()))
+		bw.Flush()
+	}
+
+	t, payload, err := wire.ReadFrame(br)
+	if err != nil {
+		return // client vanished before speaking
+	}
+	s.metrics.bytesIn.Add(uint64(5 + len(payload)))
+	if t != wire.FrameOpen {
+		reject(fmt.Errorf("expected open frame, got %s", t))
+		return
+	}
+	var req wire.OpenRequest
+	if err := unmarshalStrict(payload, &req); err != nil {
+		reject(fmt.Errorf("bad open request: %v", err))
+		return
+	}
+	prof, err := core.NewProfiler(req.Config)
+	if err != nil {
+		reject(err)
+		return
+	}
+
+	sess := &session{
+		conn:    conn,
+		prof:    prof,
+		machine: prof.NewMachine(*s.cfg.Costs),
+	}
+	id, err := s.register(sess)
+	if err != nil {
+		reject(err)
+		return
+	}
+	sess.id = id
+	defer s.unregister(id)
+
+	if err := writeJSONFrame(bw, wire.FrameOpenOK, wire.OpenReply{
+		SessionID:  id,
+		QueueDepth: s.cfg.QueueDepth,
+		MaxBatch:   s.cfg.MaxBatch,
+	}); err != nil {
+		return
+	}
+
+	queue := make(chan item, s.cfg.QueueDepth)
+	runnerDone := make(chan struct{})
+	go s.readLoop(sess, br, queue, runnerDone)
+	s.runLoop(sess, bw, queue)
+	// Unblock a reader stuck enqueueing if the runner bailed early
+	// (reply write failed); otherwise it would hold its batch forever.
+	close(runnerDone)
+}
+
+// item is one unit of session work, produced by the reader and
+// consumed by the runner.
+type item struct {
+	kind  itemKind
+	batch []mem.Access
+	err   error // itemFail: the protocol error to report
+}
+
+// readLoop decodes frames into the session queue. It is the only
+// sender on queue and closes it when the session's inbound side ends —
+// after Finish, on protocol error (itemFail carries it), or when the
+// connection dies (sess.dead is set so the runner discards leftovers).
+func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, runnerDone <-chan struct{}) {
+	defer close(queue)
+	enqueue := func(it item) bool {
+		select {
+		case queue <- it:
+			return true
+		case <-runnerDone:
+			return false
+		}
+	}
+	for {
+		t, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			// io.EOF without Finish, or a mid-frame cut: the client is
+			// gone. Nothing to reply to.
+			sess.dead.Store(true)
+			return
+		}
+		s.metrics.bytesIn.Add(uint64(5 + len(payload)))
+		switch t {
+		case wire.FrameBatch:
+			batch, err := wire.DecodeBatch(nil, payload)
+			if err != nil {
+				enqueue(item{kind: itemFail, err: fmt.Errorf("corrupt batch: %w", err)})
+				return
+			}
+			if len(batch) > s.cfg.MaxBatch {
+				enqueue(item{kind: itemFail, err: fmt.Errorf("batch of %d accesses exceeds max %d", len(batch), s.cfg.MaxBatch)})
+				return
+			}
+			s.metrics.noteQueueDepth(len(queue) + 1)
+			if !enqueue(item{kind: itemBatch, batch: batch}) {
+				return
+			}
+		case wire.FrameSnapshot:
+			if !enqueue(item{kind: itemSnapshot}) {
+				return
+			}
+		case wire.FrameFinish:
+			enqueue(item{kind: itemFinish})
+			return
+		default:
+			enqueue(item{kind: itemFail, err: fmt.Errorf("unexpected %s frame", t)})
+			return
+		}
+	}
+}
+
+// runLoop drains the session queue: executes batches under the worker
+// semaphore, answers snapshots, and emits the final result. It is the
+// only writer on bw after the open handshake.
+func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item) {
+	for it := range queue {
+		if sess.dead.Load() && it.kind == itemBatch {
+			// The client is gone; executing its leftovers would be
+			// work nobody reads.
+			s.metrics.droppedBatches.Add(1)
+			continue
+		}
+		switch it.kind {
+		case itemBatch:
+			s.sem <- struct{}{}
+			sess.machine.Execute(it.batch)
+			if s.cfg.StepDelay > 0 {
+				time.Sleep(s.cfg.StepDelay)
+			}
+			<-s.sem
+			sess.accesses.Store(sess.machine.Account().Accesses)
+			sess.stateBytes.Store(sess.prof.StateBytes())
+			s.metrics.batchesTotal.Add(1)
+			s.metrics.accessesTotal.Add(uint64(len(it.batch)))
+		case itemSnapshot:
+			s.sem <- struct{}{}
+			snap := sess.prof.Snapshot()
+			<-s.sem
+			s.metrics.snapshotsTotal.Add(1)
+			if err := writeJSONFrame(bw, wire.FrameSnapshotResult, wire.FromCore(snap, false)); err != nil {
+				return
+			}
+		case itemFinish:
+			s.sem <- struct{}{}
+			sess.machine.Finish()
+			res := sess.prof.Result()
+			<-s.sem
+			writeJSONFrame(bw, wire.FrameResult, wire.FromCore(res, true))
+			return
+		case itemFail:
+			wire.WriteFrame(bw, wire.FrameError, []byte(it.err.Error()))
+			bw.Flush()
+			// Linger reading until the peer closes (bounded), so our
+			// close doesn't become a TCP reset that discards the error
+			// frame before the client reads it.
+			sess.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			io.Copy(io.Discard, sess.conn)
+			return
+		}
+	}
+	// Queue closed without Finish: abandoned session. Its profiler and
+	// machine go out of scope here, freeing the per-session state.
+	if n := sess.accesses.Load(); n > 0 {
+		s.cfg.Logf("rdxd: session %d abandoned after %d accesses", sess.id, n)
+	}
+}
+
+func writeJSONFrame(bw *bufio.Writer, t wire.FrameType, v any) error {
+	if err := wire.WriteFrame(bw, t, mustJSON(v)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(mustJSON(s.MetricsSnapshot()))
+}

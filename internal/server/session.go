@@ -1,0 +1,54 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+// session is one remote profiling run: a dedicated Profiler+Machine
+// pair plus the counters the admin endpoint reports. Execution state is
+// touched only by the session's runner goroutine; the atomics exist so
+// /metrics can observe a live session without pausing it.
+type session struct {
+	id      uint64
+	conn    net.Conn
+	prof    *core.Profiler
+	machine *cpu.Machine
+
+	dead       atomic.Bool   // reader saw the connection die
+	accesses   atomic.Uint64 // executed so far
+	stateBytes atomic.Uint64 // profiler state after the last batch
+}
+
+type itemKind int
+
+const (
+	itemBatch itemKind = iota
+	itemSnapshot
+	itemFinish
+	itemFail
+)
+
+// mustJSON marshals a value the server constructed itself; failure is a
+// programmer error.
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("server: marshaling %T: %v", v, err))
+	}
+	return data
+}
+
+// unmarshalStrict decodes JSON, rejecting unknown fields so client and
+// server protocol versions can't silently disagree.
+func unmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// ErrRemote wraps error messages reported by the daemon, so callers can
+// distinguish a server-side rejection from a transport failure.
+var ErrRemote = errors.New("wire: remote error")
+
+// Client is one profiling session against an rdxd daemon. It is not safe
+// for concurrent use; a caller wanting parallel sessions opens one
+// Client per session (the daemon multiplexes).
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	scratch []byte
+	opened  bool
+	done    bool
+	reply   OpenReply
+}
+
+// Dial connects to an rdxd daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (loopback pipes in tests,
+// TCP in production).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 256<<10),
+	}
+}
+
+// Open starts the session with the given profiler configuration and
+// returns the server's session geometry.
+func (c *Client) Open(cfg core.Config) (OpenReply, error) {
+	if c.opened {
+		return OpenReply{}, fmt.Errorf("wire: session already open")
+	}
+	if err := c.send(FrameOpen, marshalJSON(OpenRequest{Config: cfg})); err != nil {
+		return OpenReply{}, err
+	}
+	payload, err := c.expect(FrameOpenOK)
+	if err != nil {
+		return OpenReply{}, err
+	}
+	if err := json.Unmarshal(payload, &c.reply); err != nil {
+		return OpenReply{}, fmt.Errorf("wire: decoding open reply: %w", err)
+	}
+	c.opened = true
+	return c.reply, nil
+}
+
+// SendBatch streams one batch of accesses to the session. It blocks when
+// the daemon applies backpressure (its bounded session queue is full and
+// the transport buffers have filled) — the client slows to the daemon's
+// pace instead of growing a queue.
+func (c *Client) SendBatch(accs []mem.Access) error {
+	if err := c.ensureStreaming(); err != nil {
+		return err
+	}
+	if len(accs) == 0 {
+		return nil
+	}
+	payload, err := c.encodeBatch(accs)
+	if err != nil {
+		return err
+	}
+	return c.send(FrameBatch, payload)
+}
+
+// Snapshot requests a live intermediate result: the profile the session
+// would report if the stream ended now. The session keeps running.
+func (c *Client) Snapshot() (*Result, error) {
+	if err := c.ensureStreaming(); err != nil {
+		return nil, err
+	}
+	if err := c.send(FrameSnapshot, nil); err != nil {
+		return nil, err
+	}
+	return c.readResult(FrameSnapshotResult)
+}
+
+// Finish ends the stream and returns the session's final result.
+func (c *Client) Finish() (*Result, error) {
+	if err := c.ensureStreaming(); err != nil {
+		return nil, err
+	}
+	c.done = true
+	if err := c.send(FrameFinish, nil); err != nil {
+		return nil, err
+	}
+	return c.readResult(FrameResult)
+}
+
+// Close releases the connection. Closing without Finish abandons the
+// session; the daemon frees its state.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ProfileOptions tunes Client.Profile.
+type ProfileOptions struct {
+	// BatchSize is the number of accesses per frame (default
+	// trace.DefaultBatchSize).
+	BatchSize int
+	// SnapshotEvery requests a live snapshot every that many batches
+	// (0 = never) and passes it to OnSnapshot.
+	SnapshotEvery int
+	OnSnapshot    func(*Result)
+}
+
+// Profile streams r through a fresh session end to end: Open, batched
+// SendBatch to exhaustion, Finish. It is the remote analogue of
+// rdx.Profile and returns the bit-identical result.
+func (c *Client) Profile(r trace.Reader, cfg core.Config, opts ProfileOptions) (*Result, error) {
+	batch := opts.BatchSize
+	if batch <= 0 {
+		batch = trace.DefaultBatchSize
+	}
+	if _, err := c.Open(cfg); err != nil {
+		return nil, err
+	}
+	buf := make([]mem.Access, batch)
+	sent := 0
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			if err := c.SendBatch(buf[:n]); err != nil {
+				return nil, err
+			}
+			sent++
+			if opts.SnapshotEvery > 0 && sent%opts.SnapshotEvery == 0 {
+				snap, err := c.Snapshot()
+				if err != nil {
+					return nil, err
+				}
+				if opts.OnSnapshot != nil {
+					opts.OnSnapshot(snap)
+				}
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return nil, fmt.Errorf("wire: reading access stream: %w", rerr)
+		}
+	}
+	return c.Finish()
+}
+
+func (c *Client) ensureStreaming() error {
+	if !c.opened {
+		return fmt.Errorf("wire: session not open")
+	}
+	if c.done {
+		return fmt.Errorf("wire: session already finished")
+	}
+	return nil
+}
+
+// encodeBatch encodes accs into the client's scratch buffer.
+func (c *Client) encodeBatch(accs []mem.Access) ([]byte, error) {
+	w := newSliceWriter(c.scratch[:0])
+	tw, err := trace.NewWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range accs {
+		if err := tw.Write(a); err != nil {
+			return nil, err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	c.scratch = w.buf
+	return w.buf, nil
+}
+
+// send writes one frame and flushes, so server-side backpressure
+// propagates to the caller as a blocking write.
+func (c *Client) send(t FrameType, payload []byte) error {
+	if err := WriteFrame(c.bw, t, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// expect reads the next server frame, converting FrameError into an
+// ErrRemote-wrapped error.
+func (c *Client) expect(want FrameType) ([]byte, error) {
+	t, payload, err := ReadFrame(c.br)
+	if err == io.EOF {
+		return nil, fmt.Errorf("wire: server closed the connection before replying")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if t == FrameError {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, payload)
+	}
+	if t != want {
+		return nil, fmt.Errorf("wire: server sent %s frame, want %s", t, want)
+	}
+	return payload, nil
+}
+
+func (c *Client) readResult(want FrameType) (*Result, error) {
+	payload, err := c.expect(want)
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return nil, fmt.Errorf("wire: decoding result: %w", err)
+	}
+	return &res, nil
+}
+
+// sliceWriter is an io.Writer appending to a reusable byte slice
+// (bytes.Buffer without the read-side state, so the slice can be handed
+// to WriteFrame directly).
+type sliceWriter struct{ buf []byte }
+
+func newSliceWriter(buf []byte) *sliceWriter { return &sliceWriter{buf: buf} }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}

@@ -1,0 +1,253 @@
+// Package wire defines the streaming protocol between rdx clients and
+// the rdxd profiling daemon: a length-prefixed frame layer, the JSON
+// control/result messages carried in frames, and the access-batch
+// payload encoding (which reuses the internal/trace binary record
+// format, so a recorded trace streams to the daemon byte-compatibly).
+//
+// # Framing
+//
+// Every frame is
+//
+//	length [4]byte  big-endian; covers type + payload
+//	type   byte     FrameType
+//	payload         length-1 bytes
+//
+// Frames never interleave within one direction of a connection. The
+// client speaks first (FrameOpen); the server replies to each
+// result-bearing request (FrameSnapshot, FrameFinish) in request order,
+// so the client can match replies without ids. FrameError may replace
+// any reply and is terminal for the session.
+//
+// # Batch payloads
+//
+// A FrameBatch payload is a complete RDT3 stream (magic, delta-encoded
+// records, end-of-stream trailer — see internal/trace). Delta state
+// resets at each frame boundary, so frames are independently decodable
+// and a frame cut off by a dying connection is detected by the trace
+// layer's truncation check, not executed half-way.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/histogram"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// FrameType identifies a frame's meaning and payload encoding.
+type FrameType uint8
+
+const (
+	// FrameOpen (client→server) opens a session; payload OpenRequest.
+	FrameOpen FrameType = 0x01
+	// FrameBatch (client→server) carries one access batch; payload RDT3.
+	FrameBatch FrameType = 0x02
+	// FrameSnapshot (client→server) requests a live intermediate result;
+	// empty payload.
+	FrameSnapshot FrameType = 0x03
+	// FrameFinish (client→server) ends the stream and requests the final
+	// result; empty payload.
+	FrameFinish FrameType = 0x04
+
+	// FrameOpenOK (server→client) acknowledges FrameOpen; payload
+	// OpenReply.
+	FrameOpenOK FrameType = 0x10
+	// FrameResult (server→client) carries the final Result (JSON).
+	FrameResult FrameType = 0x11
+	// FrameSnapshotResult (server→client) carries an intermediate Result
+	// (JSON).
+	FrameSnapshotResult FrameType = 0x12
+	// FrameError (server→client) carries a UTF-8 error message and ends
+	// the session.
+	FrameError FrameType = 0x13
+)
+
+// String names the frame type for diagnostics.
+func (t FrameType) String() string {
+	switch t {
+	case FrameOpen:
+		return "open"
+	case FrameBatch:
+		return "batch"
+	case FrameSnapshot:
+		return "snapshot"
+	case FrameFinish:
+		return "finish"
+	case FrameOpenOK:
+		return "open-ok"
+	case FrameResult:
+		return "result"
+	case FrameSnapshotResult:
+		return "snapshot-result"
+	case FrameError:
+		return "error"
+	default:
+		return fmt.Sprintf("FrameType(%#x)", uint8(t))
+	}
+}
+
+// MaxFramePayload bounds a frame payload. It exists to stop a corrupt or
+// hostile length prefix from allocating unbounded memory; legitimate
+// batch frames are a few hundred KiB.
+const MaxFramePayload = 64 << 20
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("wire: %s frame payload %d bytes exceeds limit %d", t, len(payload), MaxFramePayload)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r. io.EOF is returned untouched when
+// the stream ends cleanly between frames; a stream cut inside a frame
+// returns a descriptive error.
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wire: stream cut inside frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("wire: zero-length frame")
+	}
+	if n > MaxFramePayload+1 {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFramePayload+1)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("wire: stream cut inside %d-byte frame: %w", n, err)
+	}
+	return FrameType(body[0]), body[1:], nil
+}
+
+// OpenRequest is the payload of FrameOpen: the profiler configuration
+// the session should run. The config round-trips exactly (integer and
+// boolean fields, and a float encoded with Go's shortest-exact rule), so
+// a remote profile is bit-identical to a local one with the same config.
+type OpenRequest struct {
+	Config core.Config `json:"config"`
+}
+
+// OpenReply is the payload of FrameOpenOK: the session id and the
+// server's flow-control geometry, which a client can use to size its
+// batches.
+type OpenReply struct {
+	SessionID  uint64 `json:"session_id"`
+	QueueDepth int    `json:"queue_depth"`
+	MaxBatch   int    `json:"max_batch"`
+}
+
+// Result is the serializable profile exchanged between daemon and
+// client: everything a Result-consuming report or dashboard needs —
+// counters, modelled overhead, both histograms and the code-pair
+// attribution. (The in-memory footprint estimator is rebuildable from
+// ReuseTime via footprint.NewEstimatorFromHistogram and is not shipped.)
+type Result struct {
+	Config        core.Config          `json:"config"`
+	Accesses      uint64               `json:"accesses"`
+	Samples       uint64               `json:"samples"`
+	ArmedSamples  uint64               `json:"armed_samples"`
+	Traps         uint64               `json:"traps"`
+	ReusePairs    uint64               `json:"reuse_pairs"`
+	ColdSamples   uint64               `json:"cold_samples"`
+	Dropped       uint64               `json:"dropped"`
+	Evicted       uint64               `json:"evicted"`
+	Duplicates    uint64               `json:"duplicates"`
+	StateBytes    uint64               `json:"state_bytes"`
+	TimeOverhead  float64              `json:"time_overhead"`
+	ReuseTime     *histogram.Histogram `json:"reuse_time"`
+	ReuseDistance *histogram.Histogram `json:"reuse_distance"`
+	Attribution   core.Attribution     `json:"attribution,omitempty"`
+	// Final distinguishes the end-of-session result from a live
+	// snapshot.
+	Final bool `json:"final"`
+}
+
+// FromCore converts a core profiling result to its wire form.
+func FromCore(res *core.Result, final bool) *Result {
+	return &Result{
+		Config:        res.Config,
+		Accesses:      res.Accesses,
+		Samples:       res.Samples,
+		ArmedSamples:  res.ArmedSamples,
+		Traps:         res.Traps,
+		ReusePairs:    res.ReusePairs,
+		ColdSamples:   res.ColdSamples,
+		Dropped:       res.Dropped,
+		Evicted:       res.Evicted,
+		Duplicates:    res.Duplicates,
+		StateBytes:    res.StateBytes,
+		TimeOverhead:  res.TimeOverhead(),
+		ReuseTime:     res.ReuseTime,
+		ReuseDistance: res.ReuseDistance,
+		Attribution:   res.Attribution,
+		Final:         final,
+	}
+}
+
+// EncodeBatch appends the RDT3 encoding of accs to buf (reset first).
+func EncodeBatch(buf *bytes.Buffer, accs []mem.Access) error {
+	buf.Reset()
+	w, err := trace.NewWriter(buf)
+	if err != nil {
+		return err
+	}
+	for _, a := range accs {
+		if err := w.Write(a); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// DecodeBatch decodes an RDT3 batch payload, appending into dst (which
+// may be nil) and returning the extended slice. Truncated or corrupt
+// payloads fail with the trace layer's descriptive errors.
+func DecodeBatch(dst []mem.Access, payload []byte) ([]mem.Access, error) {
+	r, err := trace.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return dst, err
+	}
+	buf := make([]mem.Access, trace.DefaultBatchSize)
+	for {
+		n, err := r.Read(buf)
+		dst = append(dst, buf[:n]...)
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// marshalJSON marshals v, panicking on programmer error (all wire
+// messages are marshalable by construction).
+func marshalJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshaling %T: %v", v, err))
+	}
+	return data
+}

@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/histogram"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []struct {
+		t       FrameType
+		payload []byte
+	}{
+		{FrameOpen, []byte(`{"config":{}}`)},
+		{FrameBatch, bytes.Repeat([]byte{0xAB}, 100000)},
+		{FrameSnapshot, nil},
+		{FrameFinish, []byte{}},
+		{FrameError, []byte("session limit reached")},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f.t, f.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, f := range frames {
+		ft, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if ft != f.t {
+			t.Fatalf("frame %d: type %s, want %s", i, ft, f.t)
+		}
+		if !bytes.Equal(payload, f.payload) && len(f.payload) > 0 {
+			t.Fatalf("frame %d: payload mismatch (%d vs %d bytes)", i, len(payload), len(f.payload))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("drained stream: err=%v, want io.EOF", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameBatch, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if err == nil || err == io.EOF {
+			t.Errorf("cut=%d: truncated frame read as %v", cut, err)
+		}
+	}
+}
+
+func TestFrameRejectsOversizedAndZero(t *testing.T) {
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(FrameBatch)}
+	if _, _, err := ReadFrame(bytes.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("oversized frame: %v", err)
+	}
+	zero := []byte{0, 0, 0, 0}
+	if _, _, err := ReadFrame(bytes.NewReader(zero)); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	if err := WriteFrame(io.Discard, FrameBatch, make([]byte, MaxFramePayload+1)); err == nil {
+		t.Error("oversized write accepted")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	accs := []mem.Access{
+		{Addr: 0, PC: 0x400000, Size: 8, Kind: mem.Load},
+		{Addr: 1 << 44, PC: 0x400010, Size: 4, Kind: mem.Store},
+		{Addr: 64, PC: 0x400020, Size: 1, Kind: mem.Load},
+	}
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, accs); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeBatch(nil, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, accs) {
+		t.Fatalf("batch roundtrip mismatch:\n got %v\nwant %v", out, accs)
+	}
+
+	// A cut-off payload must be rejected, not half-executed.
+	for cut := 0; cut < buf.Len(); cut++ {
+		if _, err := DecodeBatch(nil, buf.Bytes()[:cut]); err == nil {
+			t.Errorf("cut=%d: truncated batch decoded without error", cut)
+		}
+	}
+}
+
+// TestBatchDeltaStateResetsPerFrame: two frames encoded independently
+// decode independently — frame 2 does not need frame 1's delta state.
+func TestBatchDeltaStateResetsPerFrame(t *testing.T) {
+	a := []mem.Access{{Addr: 1 << 40, PC: 0x400000, Size: 8}}
+	b := []mem.Access{{Addr: 8, PC: 0x400004, Size: 8}}
+	var f1, f2 bytes.Buffer
+	if err := EncodeBatch(&f1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeBatch(&f2, b); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeBatch(nil, f2.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != b[0] {
+		t.Fatalf("frame 2 decoded to %v, want %v", out[0], b[0])
+	}
+}
+
+// TestResultJSONBitExact: a profiled result survives the JSON trip with
+// every float64 bit intact (Go's shortest-exact encoding), which the
+// daemon's bit-identical-to-local guarantee rests on.
+func TestResultJSONBitExact(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SamplePeriod = 200
+	p, err := core.NewProfiler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(trace.ZipfAccess(5, 0, 4096, 1.0, 300000), cpumodel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := FromCore(res, true)
+	if w.ReusePairs == 0 || w.ReuseDistance.Total() == 0 {
+		t.Fatal("test profile is empty")
+	}
+
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(back.ReuseDistance.Snapshot(), w.ReuseDistance.Snapshot()) {
+		t.Error("reuse-distance histogram changed across JSON")
+	}
+	if !reflect.DeepEqual(back.ReuseTime.Snapshot(), w.ReuseTime.Snapshot()) {
+		t.Error("reuse-time histogram changed across JSON")
+	}
+	if !reflect.DeepEqual(back.Attribution, w.Attribution) {
+		t.Error("attribution changed across JSON")
+	}
+	if back.Config != w.Config {
+		t.Errorf("config changed across JSON: %+v vs %+v", back.Config, w.Config)
+	}
+	if math.Float64bits(back.TimeOverhead) != math.Float64bits(w.TimeOverhead) {
+		t.Errorf("overhead changed across JSON: %v vs %v", back.TimeOverhead, w.TimeOverhead)
+	}
+	if back.Accesses != w.Accesses || back.StateBytes != w.StateBytes || !back.Final {
+		t.Error("counters changed across JSON")
+	}
+}
+
+// TestHistogramJSONPreservesWeightBits checks the histogram layer (used
+// by Result) against adversarial float values.
+func TestHistogramJSONPreservesWeightBits(t *testing.T) {
+	h := histogram.New()
+	h.Add(1, 0.1)                      // classic non-representable decimal
+	h.Add(1000, 1e-300)                // subnormal-adjacent
+	h.Add(1<<40, 12345.678901234567)   // many significant digits
+	h.Add(histogram.Infinite, 1.0/3.0) // repeating binary fraction
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back histogram.Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Snapshot(), h.Snapshot()) {
+		t.Fatalf("histogram JSON not bit-exact:\n got %+v\nwant %+v", back.Snapshot(), h.Snapshot())
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/histogram"
 	"repro/internal/mem"
 	"repro/internal/trace"
+	"repro/internal/wire"
 	"repro/internal/workloads"
 )
 
@@ -128,6 +129,37 @@ func ProfileWithCosts(r Reader, cfg Config, costs Costs) (*Result, error) {
 	}
 	return res, nil
 }
+
+// Remote profiling against an rdxd daemon (cmd/rdxd). A remote session
+// streams the access batches over the wire protocol and returns a
+// result bit-identical to Profile on the same stream and config.
+type (
+	// RemoteResult is the serializable profile an rdxd daemon returns:
+	// the same histograms, counters and attribution as Result, in
+	// wire/JSON form.
+	RemoteResult = wire.Result
+	// RemoteOptions tunes a remote session (batch size, live-snapshot
+	// cadence).
+	RemoteOptions = wire.ProfileOptions
+)
+
+// ProfileRemote profiles an access stream on an rdxd daemon at addr
+// instead of in-process. The daemon runs the identical engine, so the
+// returned profile is bit-identical to Profile(r, cfg) locally; use it
+// to move profiling load off the measuring host or to watch live
+// snapshots of a long run (RemoteOptions.OnSnapshot).
+func ProfileRemote(addr string, r Reader, cfg Config, opts RemoteOptions) (*RemoteResult, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Profile(r, cfg, opts)
+}
+
+// ResultToRemote converts a locally produced Result into the wire form,
+// so local and remote profiles can share reporting code.
+func ResultToRemote(res *Result) *RemoteResult { return wire.FromCore(res, true) }
 
 // ProfileThreads profiles each stream as one thread of a multithreaded
 // program — per-thread PMU and debug-register contexts, merged
