@@ -6,19 +6,25 @@
 //
 //	rdx -workload mcf -n 4194304 -period 8192 [-exact] [-granularity word]
 //	rdx -trace run.rdt -remote 127.0.0.1:9127 [-snapshot-every 50]
+//	rdx -workload mcf -remote 127.0.0.1:9127 -retry 12 -dial-timeout 5s
 //	rdx -workload mcf -json > profile.json
 //	rdx -list
 //
 // With -remote the access stream is generated (or replayed) locally and
 // streamed to the daemon; the report is identical to local mode because
-// the daemon runs the identical engine.
+// the daemon runs the identical engine. With -retry N the session is
+// fault-tolerant: it reconnects with exponential backoff (up to N
+// consecutive attempts), resumes from the daemon's checkpoint, and
+// replays unacknowledged batches.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/trace"
@@ -37,9 +43,11 @@ func main() {
 		pairs     = flag.Int("pairs", 0, "print the top N use→reuse code pairs by weight")
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable result (histograms, counters, overheads, accuracy) to stdout instead of the report")
 		jsonFile  = flag.String("json-file", "", "additionally write the machine-readable result to this file")
-		remote    = flag.String("remote", "", "profile via the rdxd daemon at this address instead of in-process")
-		snapEvery = flag.Int("snapshot-every", 0, "with -remote: print a live snapshot line every N batches")
-		list      = flag.Bool("list", false, "list available workloads and exit")
+		remote      = flag.String("remote", "", "profile via the rdxd daemon at this address instead of in-process")
+		snapEvery   = flag.Int("snapshot-every", 0, "with -remote: print a live snapshot line every N batches")
+		retry       = flag.Int("retry", 0, "with -remote: survive connection faults with up to N consecutive reconnect attempts (0 = no retry)")
+		dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "with -remote: timeout for each connection attempt")
+		list        = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
 
@@ -94,7 +102,14 @@ func main() {
 					s.Accesses, s.Samples, s.ReusePairs, 100*s.TimeOverhead)
 			}
 		}
-		res, err = rdx.ProfileRemote(*remote, openStream(), cfg, opts)
+		if *retry > 0 {
+			policy := rdx.RetryPolicy{MaxAttempts: *retry, DialTimeout: *dialTimeout, Seed: *seed}
+			res, err = rdx.ProfileRemoteResilient(context.Background(), *remote, openStream(), cfg, opts, policy)
+		} else {
+			ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
+			res, err = rdx.ProfileRemote(ctx, *remote, openStream(), cfg, opts)
+			cancel()
+		}
 		if err != nil {
 			fatal(err)
 		}

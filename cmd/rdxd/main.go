@@ -7,10 +7,17 @@
 //
 //	rdxd [-addr 127.0.0.1:9127] [-admin 127.0.0.1:9128] [-workers 4]
 //	     [-queue-depth 8] [-max-sessions 64] [-drain-timeout 30s]
+//	     [-checkpoint-dir /var/lib/rdxd] [-checkpoint-every 64]
+//	     [-read-timeout 5m] [-write-timeout 1m]
 //
 // SIGTERM or SIGINT drains the daemon: new sessions are refused,
 // in-flight sessions get -drain-timeout to finish, stragglers are cut
 // off. /healthz reports 503 from the moment draining starts.
+//
+// Sessions are checkpointed (at open, every -checkpoint-every batches,
+// on client sync, and on disconnect) so interrupted clients can resume
+// where they left off. With -checkpoint-dir the checkpoints are
+// spilled to disk and sessions survive a daemon restart.
 package main
 
 import (
@@ -35,16 +42,24 @@ func main() {
 		maxBatch     = flag.Int("max-batch", 1<<20, "largest accepted batch, in accesses")
 		maxSessions  = flag.Int("max-sessions", 64, "concurrent session limit")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight sessions get to finish on shutdown")
+		ckptDir      = flag.String("checkpoint-dir", "", "spill session checkpoints to this directory so sessions survive a restart; empty keeps them in memory only")
+		ckptEvery    = flag.Int("checkpoint-every", 64, "checkpoint each session every N batches (negative disables periodic checkpoints)")
+		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-frame read deadline; idle connections past it are dropped and resumable (negative disables)")
+		writeTimeout = flag.Duration("write-timeout", time.Minute, "per-frame write deadline for replies (negative disables)")
 	)
 	flag.Parse()
 
 	s, err := server.New(server.Config{
-		Addr:        *addr,
-		AdminAddr:   *admin,
-		Workers:     *workers,
-		QueueDepth:  *queueDepth,
-		MaxBatch:    *maxBatch,
-		MaxSessions: *maxSessions,
+		Addr:            *addr,
+		AdminAddr:       *admin,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		MaxBatch:        *maxBatch,
+		MaxSessions:     *maxSessions,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdxd:", err)

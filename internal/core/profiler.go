@@ -78,6 +78,9 @@ func NewProfiler(cfg Config) (*Profiler, error) {
 	return p, nil
 }
 
+// Config returns the configuration the profiler was created with.
+func (p *Profiler) Config() Config { return p.cfg }
+
 // NewMachine returns a simulated CPU with this profiler's PMU and debug
 // registers attached, charging the given cost model. Each profiler
 // drives exactly one machine.

@@ -150,6 +150,36 @@ func (m *Machine) Execute(batch []mem.Access) {
 // drivers call it directly.
 func (m *Machine) Finish() { m.finish() }
 
+// MachineState is the machine's own mutable execution state, exported
+// for lossless checkpoint/restore of an incremental (Execute-driven)
+// run. The attached PMU and debug-register file carry their own state
+// (pmu.State, debugreg.FileState) and are restored separately.
+type MachineState struct {
+	AccessIndex uint64
+	Executed    uint64
+	Account     cpumodel.Account
+}
+
+// State captures the machine's execution state. The machine must be
+// quiescent (between Execute calls).
+func (m *Machine) State() MachineState {
+	return MachineState{
+		AccessIndex: m.accessIndex,
+		Executed:    m.executed,
+		Account:     *m.account,
+	}
+}
+
+// SetState overwrites the machine's execution state with a previously
+// captured one. Subsequent Execute calls continue bit-identically to the
+// captured run, provided the attached PMU and debug registers were
+// restored to matching states.
+func (m *Machine) SetState(s MachineState) {
+	m.accessIndex = s.AccessIndex
+	m.executed = s.Executed
+	*m.account = s.Account
+}
+
 // RunReference executes the stream with the pre-batching per-access
 // loop: one closure dispatch, one full watchpoint check and one PMU tick
 // per access. It is retained as the executable specification of the

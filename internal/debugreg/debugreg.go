@@ -228,6 +228,52 @@ func (f *File) Check(a mem.Access) int {
 	return n
 }
 
+// FileState is the complete mutable state of a debug-register file,
+// exported for lossless checkpoint/restore of a profiling session.
+type FileState struct {
+	Slots []Watchpoint
+	Armed []bool
+	Traps uint64
+	Arms  uint64
+}
+
+// State captures the file's mutable state (a deep copy).
+func (f *File) State() FileState {
+	return FileState{
+		Slots: append([]Watchpoint(nil), f.slots...),
+		Armed: append([]bool(nil), f.armed...),
+		Traps: f.traps,
+		Arms:  f.arms,
+	}
+}
+
+// SetState overwrites the file's state with a previously captured one.
+// The slot count must match the file's and every armed watchpoint must
+// be valid; the derived armed count and mask are rebuilt.
+func (f *File) SetState(s FileState) error {
+	if len(s.Slots) != len(f.slots) || len(s.Armed) != len(f.armed) {
+		return fmt.Errorf("debugreg: state has %d slots, file has %d", len(s.Slots), len(f.slots))
+	}
+	for i, armed := range s.Armed {
+		if armed && !validWidth(s.Slots[i].Width) {
+			return fmt.Errorf("debugreg: state slot %d armed with invalid width %d", i, s.Slots[i].Width)
+		}
+	}
+	copy(f.slots, s.Slots)
+	f.armedCount = 0
+	f.armedMask = 0
+	for i, armed := range s.Armed {
+		f.armed[i] = armed
+		if armed {
+			f.armedCount++
+			f.armedMask |= 1 << uint(i)
+		}
+	}
+	f.traps = s.Traps
+	f.arms = s.Arms
+	return nil
+}
+
 // Traps returns the total number of traps delivered.
 func (f *File) Traps() uint64 { return f.traps }
 

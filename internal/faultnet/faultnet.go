@@ -1,0 +1,200 @@
+// Package faultnet wraps net.Conn, net.Listener and dial functions
+// with deterministic, seeded fault injection: connection drops after a
+// configurable byte budget, per-write drop probability, single-bit
+// payload corruption, partial writes, and latency spikes.
+//
+// It exists for the fault-tolerance tests: the same Options.Seed
+// produces the same fault schedule on every run, so a test that
+// survives injected chaos is reproducible, and a test that fails can
+// be replayed. Each wrapped connection derives its own RNG from the
+// seed and a per-connection index, so connection N always sees the
+// same faults regardless of timing.
+//
+// Faults are injected on the write side only: a dropped connection is
+// closed underneath (both directions die, as with a real network cut),
+// and corruption mangles bytes in flight exactly as a faulty path
+// would — the receiver's frame checksum, not this package, is what
+// must catch it.
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ErrInjected is the error returned by a write hitting an injected
+// connection drop. Tests distinguish it from genuine transport errors
+// with errors.Is.
+var ErrInjected = errors.New("faultnet: injected connection drop")
+
+// Options configures the fault schedule. The zero value injects
+// nothing and wraps transparently.
+type Options struct {
+	// Seed makes the schedule deterministic. Connections derive their
+	// RNG from Seed and their index, so reordering in time does not
+	// change which faults a given connection sees.
+	Seed uint64
+	// DropAfterMin/Max, when Max > 0, kill each connection after a
+	// random number of written bytes drawn from [Min, Max].
+	DropAfterMin int
+	DropAfterMax int
+	// DropProb, per write call, kills the connection outright.
+	DropProb float64
+	// CorruptProb, per write call, flips one random bit of the written
+	// bytes (the caller's buffer is not modified).
+	CorruptProb float64
+	// PartialWrites splits each write into two parts at a random
+	// boundary, exercising receivers against short reads and frames
+	// split across segments.
+	PartialWrites bool
+	// MaxLatency, when set, delays each write by a random duration in
+	// [0, MaxLatency).
+	MaxLatency time.Duration
+}
+
+// mix derives a per-connection RNG seed (splitmix-style finalizer).
+func mix(seed, idx uint64) uint64 {
+	z := seed + idx*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Wrap returns conn with the fault schedule applied. connIndex selects
+// the connection's deterministic fault stream.
+func Wrap(conn net.Conn, opts Options, connIndex uint64) net.Conn {
+	f := &faultConn{Conn: conn, opts: opts, rng: stats.NewRNG(mix(opts.Seed, connIndex))}
+	if opts.DropAfterMax > 0 {
+		span := opts.DropAfterMax - opts.DropAfterMin
+		f.dropAt = opts.DropAfterMin
+		if span > 0 {
+			f.dropAt += int(f.rng.Uint64n(uint64(span) + 1))
+		}
+	} else {
+		f.dropAt = -1
+	}
+	return f
+}
+
+// faultConn is a net.Conn whose writes follow the fault schedule. Like
+// the wire client that drives it, it is used from one goroutine at a
+// time.
+type faultConn struct {
+	net.Conn
+	opts    Options
+	rng     *stats.RNG
+	dropAt  int // written-bytes budget; -1 = no byte-budget drop
+	written int
+	killed  bool
+}
+
+// kill closes the underlying connection so the peer sees the drop too,
+// like a real network cut.
+func (f *faultConn) kill() {
+	f.killed = true
+	f.Conn.Close()
+}
+
+func (f *faultConn) Write(p []byte) (int, error) {
+	if f.killed {
+		return 0, ErrInjected
+	}
+	if f.opts.MaxLatency > 0 {
+		time.Sleep(time.Duration(f.rng.Uint64n(uint64(f.opts.MaxLatency))))
+	}
+	if f.opts.DropProb > 0 && f.rng.Float64() < f.opts.DropProb {
+		f.kill()
+		return 0, ErrInjected
+	}
+	if f.opts.CorruptProb > 0 && len(p) > 0 && f.rng.Float64() < f.opts.CorruptProb {
+		bad := append([]byte(nil), p...)
+		bit := f.rng.Uint64n(uint64(len(bad)) * 8)
+		bad[bit/8] ^= 1 << (bit % 8)
+		p = bad
+	}
+	if f.dropAt >= 0 && f.written+len(p) > f.dropAt {
+		// Deliver the prefix up to the budget — a torn frame — then cut.
+		keep := f.dropAt - f.written
+		n := 0
+		if keep > 0 {
+			n, _ = f.Conn.Write(p[:keep])
+			f.written += n
+		}
+		f.kill()
+		return n, ErrInjected
+	}
+	if f.opts.PartialWrites && len(p) > 1 {
+		cut := 1 + int(f.rng.Uint64n(uint64(len(p)-1)))
+		n, err := f.Conn.Write(p[:cut])
+		f.written += n
+		if err != nil {
+			return n, err
+		}
+		m, err := f.Conn.Write(p[cut:])
+		f.written += m
+		return n + m, err
+	}
+	n, err := f.Conn.Write(p)
+	f.written += n
+	return n, err
+}
+
+// Dialer wraps a dial function so every established connection carries
+// the fault schedule, with consecutive connection indices.
+type Dialer struct {
+	opts Options
+	dial func(ctx context.Context, addr string) (net.Conn, error)
+	next atomic.Uint64
+}
+
+// NewDialer builds a fault-injecting dialer. A nil dial uses net.Dialer
+// over TCP.
+func NewDialer(opts Options, dial func(ctx context.Context, addr string) (net.Conn, error)) *Dialer {
+	if dial == nil {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	return &Dialer{opts: opts, dial: dial}
+}
+
+// DialContext dials and wraps the connection with the next fault
+// stream.
+func (d *Dialer) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	conn, err := d.dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(conn, d.opts, d.next.Add(1)), nil
+}
+
+// Conns reports how many connections the dialer has established.
+func (d *Dialer) Conns() uint64 { return d.next.Load() }
+
+// Listener wraps an accept loop so every inbound connection carries
+// the fault schedule (server-side injection).
+type Listener struct {
+	net.Listener
+	opts Options
+	next atomic.Uint64
+}
+
+// WrapListener builds a fault-injecting listener.
+func WrapListener(ln net.Listener, opts Options) *Listener {
+	return &Listener{Listener: ln, opts: opts}
+}
+
+// Accept accepts and wraps the connection with the next fault stream.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(conn, l.opts, l.next.Add(1)), nil
+}

@@ -1,0 +1,139 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+)
+
+// drain consumes one end of a pipe so writes on the other end never
+// block, returning what arrived once the writer closes.
+func drain(conn net.Conn) <-chan []byte {
+	out := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, conn)
+		out <- buf.Bytes()
+	}()
+	return out
+}
+
+// writeUntilDrop pushes fixed-size writes through a wrapped pipe until
+// the injected drop fires, returning the total bytes accepted.
+func writeUntilDrop(t *testing.T, opts Options, connIndex uint64) int {
+	t.Helper()
+	a, b := net.Pipe()
+	defer b.Close()
+	got := drain(b)
+	w := Wrap(a, opts, connIndex)
+	total := 0
+	chunk := make([]byte, 64)
+	for i := 0; i < 10000; i++ {
+		n, err := w.Write(chunk)
+		total += n
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("write %d: %v, want ErrInjected", i, err)
+			}
+			<-got
+			return total
+		}
+	}
+	t.Fatal("drop never fired")
+	return 0
+}
+
+func TestDropAfterBudgetIsDeterministic(t *testing.T) {
+	opts := Options{Seed: 42, DropAfterMin: 1000, DropAfterMax: 3000}
+	first := writeUntilDrop(t, opts, 1)
+	if first < opts.DropAfterMin || first > opts.DropAfterMax {
+		t.Errorf("dropped after %d bytes, want within [%d, %d]",
+			first, opts.DropAfterMin, opts.DropAfterMax)
+	}
+	if again := writeUntilDrop(t, opts, 1); again != first {
+		t.Errorf("same seed and index dropped after %d then %d bytes", first, again)
+	}
+	if other := writeUntilDrop(t, opts, 2); other == first {
+		// Not impossible, but with a 2000-byte window it means the
+		// per-connection derivation collapsed.
+		t.Errorf("connection 2 dropped at the same byte (%d) as connection 1", other)
+	}
+}
+
+func TestDroppedConnKillsPeer(t *testing.T) {
+	a, b := net.Pipe()
+	got := drain(b)
+	w := Wrap(a, Options{Seed: 1, DropProb: 1}, 1)
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write: %v, want ErrInjected", err)
+	}
+	// The peer's read side must see the cut (drain returns on EOF).
+	if data := <-got; len(data) != 0 {
+		t.Errorf("peer received %d bytes across a dropped connection", len(data))
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("write after kill: %v, want ErrInjected", err)
+	}
+}
+
+func TestCorruptionFlipsExactlyOneBit(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	got := drain(b)
+	w := Wrap(a, Options{Seed: 9, CorruptProb: 1}, 1)
+	msg := bytes.Repeat([]byte{0x00}, 256)
+	if _, err := w.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	data := <-got
+	if len(data) != len(msg) {
+		t.Fatalf("received %d bytes, want %d", len(data), len(msg))
+	}
+	flipped := 0
+	for _, x := range data {
+		for ; x != 0; x &= x - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Errorf("%d bits flipped, want exactly 1", flipped)
+	}
+	for i := range msg {
+		if msg[i] != 0 {
+			t.Fatal("caller's buffer was modified")
+		}
+	}
+}
+
+func TestPartialWritesPreserveBytes(t *testing.T) {
+	a, b := net.Pipe()
+	got := drain(b)
+	w := Wrap(a, Options{Seed: 3, PartialWrites: true}, 1)
+	want := []byte("featherlight reuse-distance measurement, in pieces")
+	if _, err := w.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if data := <-got; !bytes.Equal(data, want) {
+		t.Errorf("received %q, want %q", data, want)
+	}
+}
+
+func TestZeroOptionsAreTransparent(t *testing.T) {
+	a, b := net.Pipe()
+	got := drain(b)
+	w := Wrap(a, Options{}, 1)
+	want := bytes.Repeat([]byte("abc"), 1000)
+	for i := 0; i < len(want); i += 100 {
+		if _, err := w.Write(want[i : i+100]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	if data := <-got; !bytes.Equal(data, want) {
+		t.Error("transparent wrap altered the stream")
+	}
+}

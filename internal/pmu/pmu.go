@@ -233,6 +233,48 @@ func (p *PMU) deliver(a mem.Access) {
 	p.handler(Sample{Access: a, Count: p.count})
 }
 
+// State is the complete mutable state of a PMU, exported for lossless
+// checkpoint/restore of a profiling session. A PMU created with the same
+// Config and restored from a State continues the exact event sequence —
+// counter values, overflow positions and period-randomization draws — of
+// the captured unit.
+type State struct {
+	Count     uint64
+	AllCount  uint64
+	ToNext    uint64
+	Samples   uint64
+	SkidLeft  int64
+	SkidArmed bool
+	RNG       uint64
+}
+
+// State captures the PMU's mutable state. The PMU must be quiescent (no
+// Tick in flight).
+func (p *PMU) State() State {
+	return State{
+		Count:     p.count,
+		AllCount:  p.allCount,
+		ToNext:    p.toNext,
+		Samples:   p.samples,
+		SkidLeft:  int64(p.skidLeft),
+		SkidArmed: p.skidArmed,
+		RNG:       p.rng.State(),
+	}
+}
+
+// SetState overwrites the PMU's mutable state with a previously captured
+// one. The configuration is not part of State and must match the one the
+// state was captured under.
+func (p *PMU) SetState(s State) {
+	p.count = s.Count
+	p.allCount = s.AllCount
+	p.toNext = s.ToNext
+	p.samples = s.Samples
+	p.skidLeft = int(s.SkidLeft)
+	p.skidArmed = s.SkidArmed
+	p.rng.Seed(s.RNG)
+}
+
 // Count returns the number of qualifying events observed.
 func (p *PMU) Count() uint64 { return p.count }
 

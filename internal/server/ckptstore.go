@@ -1,0 +1,277 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ckptEntry is one retained session state: either a live checkpoint
+// (blob, resumable mid-stream) or a finished session's final result
+// (final, replayed if the result frame was lost in flight).
+type ckptEntry struct {
+	seq   uint64 // last batch sequence number covered
+	blob  []byte // core.Profiler checkpoint; nil for finished sessions
+	final []byte // retained final-result JSON; nil for live sessions
+	stamp uint64 // LRU clock at last touch
+}
+
+// ckptStore retains session checkpoints for resume: an in-memory map
+// with LRU eviction, optionally spilled to a directory so checkpoints
+// survive a daemon restart. Disk entries carry a checksum envelope, so
+// a torn write or bit rot surfaces as a descriptive resume error.
+//
+// Disk format ("RDXS", version 1, big-endian):
+//
+//	magic  [4]byte "RDXS"
+//	version u8
+//	kind    u8   0 = live checkpoint, 1 = final result
+//	seq     u64
+//	crc     u32  IEEE crc32 of the body
+//	len     u32  body length
+//	body    len bytes
+type ckptStore struct {
+	mu      sync.Mutex
+	mem     map[string]*ckptEntry
+	clock   uint64
+	maxMem  int
+	dir     string // "" = memory only
+	maxDisk int
+	saves   int // save counter driving the periodic disk sweep
+	logf    func(format string, args ...any)
+}
+
+var ckptDiskMagic = [4]byte{'R', 'D', 'X', 'S'}
+
+const (
+	ckptDiskVersion  = 1
+	ckptKindLive     = 0
+	ckptKindFinal    = 1
+	ckptDiskOverhead = 4 + 1 + 1 + 8 + 4 + 4
+	// ckptSweepEvery triggers the disk-retention sweep every that many
+	// saves.
+	ckptSweepEvery = 64
+)
+
+func newCkptStore(dir string, maxMem, maxDisk int, logf func(string, ...any)) *ckptStore {
+	return &ckptStore{
+		mem:     make(map[string]*ckptEntry),
+		maxMem:  maxMem,
+		dir:     dir,
+		maxDisk: maxDisk,
+		logf:    logf,
+	}
+}
+
+// newSessionToken draws a fresh 128-bit session token (32 hex chars).
+func newSessionToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: reading random token: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validToken reports whether tok has the exact shape newSessionToken
+// produces. Tokens become file names in the spill directory, so
+// anything else — path separators, dots, wrong length — is rejected
+// before it touches the filesystem.
+func validToken(tok string) bool {
+	if len(tok) != 32 {
+		return false
+	}
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// save retains a live checkpoint for token, spilling it to the
+// checkpoint directory when one is configured. Acknowledgments to the
+// client are sent only after save returns nil, so an acked batch is as
+// durable as the store gets.
+func (cs *ckptStore) save(token string, seq uint64, blob []byte) error {
+	cs.put(token, &ckptEntry{seq: seq, blob: blob})
+	if cs.dir != "" {
+		return cs.writeDisk(token, ckptKindLive, seq, blob)
+	}
+	return nil
+}
+
+// saveFinal replaces token's checkpoint with the finished session's
+// result, retained so a lost result frame can be served again on
+// resume.
+func (cs *ckptStore) saveFinal(token string, seq uint64, result []byte) error {
+	cs.put(token, &ckptEntry{seq: seq, final: result})
+	if cs.dir != "" {
+		return cs.writeDisk(token, ckptKindFinal, seq, result)
+	}
+	return nil
+}
+
+func (cs *ckptStore) put(token string, ent *ckptEntry) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.clock++
+	ent.stamp = cs.clock
+	cs.mem[token] = ent
+	for len(cs.mem) > cs.maxMem {
+		victim, oldest := "", uint64(0)
+		for t, e := range cs.mem {
+			if victim == "" || e.stamp < oldest {
+				victim, oldest = t, e.stamp
+			}
+		}
+		delete(cs.mem, victim)
+	}
+}
+
+// load fetches token's entry, from memory or (after an eviction or a
+// daemon restart) from the spill directory.
+func (cs *ckptStore) load(token string) (*ckptEntry, error) {
+	if !validToken(token) {
+		return nil, fmt.Errorf("malformed resume token")
+	}
+	cs.mu.Lock()
+	ent, ok := cs.mem[token]
+	if ok {
+		cs.clock++
+		ent.stamp = cs.clock
+	}
+	cs.mu.Unlock()
+	if ok {
+		return ent, nil
+	}
+	if cs.dir == "" {
+		return nil, fmt.Errorf("unknown or expired resume token")
+	}
+	ent, err := cs.readDisk(token)
+	if err != nil {
+		return nil, err
+	}
+	cs.put(token, ent)
+	return ent, nil
+}
+
+// drop forgets token everywhere.
+func (cs *ckptStore) drop(token string) {
+	cs.mu.Lock()
+	delete(cs.mem, token)
+	cs.mu.Unlock()
+	if cs.dir != "" {
+		os.Remove(cs.path(token))
+	}
+}
+
+func (cs *ckptStore) path(token string) string {
+	return filepath.Join(cs.dir, token+".rdxs")
+}
+
+// writeDisk spills one entry atomically: full write to a temp file,
+// fsync-free rename into place (the checksum envelope catches torn
+// writes on the read side).
+func (cs *ckptStore) writeDisk(token string, kind uint8, seq uint64, body []byte) error {
+	buf := make([]byte, ckptDiskOverhead, ckptDiskOverhead+len(body))
+	copy(buf, ckptDiskMagic[:])
+	buf[4] = ckptDiskVersion
+	buf[5] = kind
+	binary.BigEndian.PutUint64(buf[6:], seq)
+	binary.BigEndian.PutUint32(buf[14:], crc32.ChecksumIEEE(body))
+	binary.BigEndian.PutUint32(buf[18:], uint32(len(body)))
+	buf = append(buf, body...)
+
+	tmp := cs.path(token) + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o600); err != nil {
+		return fmt.Errorf("server: spilling checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, cs.path(token)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: spilling checkpoint: %w", err)
+	}
+	cs.mu.Lock()
+	cs.saves++
+	sweep := cs.saves%ckptSweepEvery == 0
+	cs.mu.Unlock()
+	if sweep {
+		cs.sweepDisk()
+	}
+	return nil
+}
+
+func (cs *ckptStore) readDisk(token string) (*ckptEntry, error) {
+	data, err := os.ReadFile(cs.path(token))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("unknown or expired resume token")
+		}
+		return nil, fmt.Errorf("reading checkpoint: %v", err)
+	}
+	if len(data) < ckptDiskOverhead || [4]byte(data[:4]) != ckptDiskMagic {
+		return nil, fmt.Errorf("corrupt checkpoint: bad envelope")
+	}
+	if data[4] != ckptDiskVersion {
+		return nil, fmt.Errorf("corrupt checkpoint: unsupported version %d", data[4])
+	}
+	kind := data[5]
+	seq := binary.BigEndian.Uint64(data[6:])
+	wantCRC := binary.BigEndian.Uint32(data[14:])
+	n := binary.BigEndian.Uint32(data[18:])
+	body := data[ckptDiskOverhead:]
+	if uint32(len(body)) != n {
+		return nil, fmt.Errorf("corrupt checkpoint: %d body bytes, envelope declares %d", len(body), n)
+	}
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, fmt.Errorf("corrupt checkpoint: checksum mismatch")
+	}
+	ent := &ckptEntry{seq: seq}
+	switch kind {
+	case ckptKindLive:
+		ent.blob = body
+	case ckptKindFinal:
+		ent.final = body
+	default:
+		return nil, fmt.Errorf("corrupt checkpoint: unknown kind %d", kind)
+	}
+	return ent, nil
+}
+
+// sweepDisk keeps the spill directory bounded: when it holds more than
+// maxDisk entries, the oldest (by modification time) are removed.
+func (cs *ckptStore) sweepDisk() {
+	entries, err := os.ReadDir(cs.dir)
+	if err != nil {
+		return
+	}
+	type aged struct {
+		name string
+		mod  int64
+	}
+	var files []aged
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".rdxs" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{name: e.Name(), mod: info.ModTime().UnixNano()})
+	}
+	if len(files) <= cs.maxDisk {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
+	for _, f := range files[:len(files)-cs.maxDisk] {
+		os.Remove(filepath.Join(cs.dir, f.name))
+		cs.logf("rdxd: swept old checkpoint %s", f.name)
+	}
+}

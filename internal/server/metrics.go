@@ -20,6 +20,14 @@ type metrics struct {
 	bytesIn        atomic.Uint64
 	peakQueueDepth atomic.Int64
 
+	// Fault-tolerance counters.
+	resumedSessions  atomic.Uint64 // sessions reopened from a checkpoint
+	resumeFailures   atomic.Uint64 // resume handshakes rejected
+	replayedBatches  atomic.Uint64 // replayed duplicates discarded by seq
+	shedRequests     atomic.Uint64 // opens answered with retry-after
+	checkpointsTotal atomic.Uint64 // checkpoints taken
+	checkpointBytes  atomic.Uint64 // cumulative checkpoint blob bytes
+
 	rateMu       sync.Mutex
 	accessRate   float64 // accesses/sec over the last sample window
 	lastAccesses uint64
@@ -82,6 +90,13 @@ type Metrics struct {
 	PeakQueueDepth int64            `json:"peak_queue_depth"`
 	Draining       bool             `json:"draining"`
 	Sessions       []SessionMetrics `json:"sessions"`
+
+	ResumedSessions  uint64 `json:"resumed_sessions"`
+	ResumeFailures   uint64 `json:"resume_failures"`
+	ReplayedBatches  uint64 `json:"replayed_batches"`
+	ShedRequests     uint64 `json:"shed_requests"`
+	CheckpointsTotal uint64 `json:"checkpoints_total"`
+	CheckpointBytes  uint64 `json:"checkpoint_bytes"`
 }
 
 // MetricsSnapshot assembles the current metrics, including the
@@ -116,5 +131,12 @@ func (s *Server) MetricsSnapshot() Metrics {
 		PeakQueueDepth: m.peakQueueDepth.Load(),
 		Draining:       draining,
 		Sessions:       sessions,
+
+		ResumedSessions:  m.resumedSessions.Load(),
+		ResumeFailures:   m.resumeFailures.Load(),
+		ReplayedBatches:  m.replayedBatches.Load(),
+		ShedRequests:     m.shedRequests.Load(),
+		CheckpointsTotal: m.checkpointsTotal.Load(),
+		CheckpointBytes:  m.checkpointBytes.Load(),
 	}
 }

@@ -22,6 +22,23 @@
 // expires are force-closed. The admin /healthz endpoint reports 503
 // from the moment draining starts, so load balancers stop routing new
 // sessions before the listener closes.
+//
+// # Fault tolerance
+//
+// Every session is identified by a random token handed out at open.
+// The server checkpoints the session's full profiler state (lossless,
+// via core.Profiler.Checkpoint) at open, every CheckpointEvery
+// batches, on an explicit client sync, and when the connection drops
+// mid-session. Checkpoints live in an in-memory LRU and, when
+// CheckpointDir is set, on disk — surviving a daemon restart. A client
+// reconnecting with its token resumes exactly where the last
+// checkpoint left off: the open reply carries the last executed batch
+// sequence number, the client replays its unacknowledged tail, and
+// the runner discards any batch it already executed — replay is
+// idempotent. A finished session's final result is retained the same
+// way, so a result frame lost in flight can be fetched again. When the
+// server is at MaxSessions or draining, opens are shed with an
+// explicit retry-after reply instead of a hard error.
 package server
 
 import (
@@ -29,9 +46,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"encoding/binary"
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -72,6 +91,31 @@ type Config struct {
 	// Logf receives server diagnostics (default log.Printf; use a
 	// no-op in tests).
 	Logf func(format string, args ...any)
+
+	// CheckpointEvery checkpoints each session every that many batches
+	// (default 64; negative disables periodic checkpoints). Sessions
+	// are also checkpointed at open, on client sync, and on disconnect.
+	CheckpointEvery int
+	// CheckpointDir, when non-empty, spills checkpoints to disk so
+	// sessions survive a daemon restart. The directory is created if
+	// missing.
+	CheckpointDir string
+	// MaxCheckpoints bounds retained in-memory checkpoints (default
+	// 128); the least recently used are evicted first.
+	MaxCheckpoints int
+	// MaxDiskCheckpoints bounds spilled checkpoint files (default
+	// 1024); the oldest are swept first.
+	MaxDiskCheckpoints int
+	// ReadTimeout bounds the wait for each inbound frame (default 5m;
+	// negative disables). An idle connection past it is dropped — and
+	// checkpointed, so the client can resume.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each outbound reply write (default 1m;
+	// negative disables).
+	WriteTimeout time.Duration
+	// RetryAfterHint is the backoff suggested to shed clients (default
+	// 500ms).
+	RetryAfterHint time.Duration
 }
 
 func (c *Config) fill() {
@@ -97,6 +141,24 @@ func (c *Config) fill() {
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.MaxCheckpoints <= 0 {
+		c.MaxCheckpoints = 128
+	}
+	if c.MaxDiskCheckpoints <= 0 {
+		c.MaxDiskCheckpoints = 1024
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = time.Minute
+	}
+	if c.RetryAfterHint <= 0 {
+		c.RetryAfterHint = 500 * time.Millisecond
+	}
 }
 
 // Server is an rdxd instance.
@@ -109,12 +171,14 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[uint64]*session
+	tokens   map[string]struct{} // tokens with a live session attached
 	nextID   uint64
 	draining bool
 	closed   bool
 
 	wg       sync.WaitGroup // accept loop + one per connection
 	metrics  metrics
+	ckpts    *ckptStore
 	stopRate chan struct{}
 }
 
@@ -122,6 +186,11 @@ type Server struct {
 // accepted until Start.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o700); err != nil {
+			return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+		}
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: listening on %s: %w", cfg.Addr, err)
@@ -131,6 +200,8 @@ func New(cfg Config) (*Server, error) {
 		ln:       ln,
 		sem:      make(chan struct{}, cfg.Workers),
 		sessions: make(map[uint64]*session),
+		tokens:   make(map[string]struct{}),
+		ckpts:    newCkptStore(cfg.CheckpointDir, cfg.MaxCheckpoints, cfg.MaxDiskCheckpoints, cfg.Logf),
 		stopRate: make(chan struct{}),
 	}
 	if cfg.AdminAddr != "" {
@@ -257,35 +328,47 @@ func (s *Server) finishClose() {
 	}
 }
 
-// register admits a new session, or explains why it can't.
-func (s *Server) register(sess *session) (uint64, error) {
+// register admits a new session, or explains why it can't. shed
+// reports whether the rejection is transient (capacity, draining) and
+// should be answered with a retry-after rather than a hard error.
+func (s *Server) register(sess *session) (id uint64, shed bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return 0, fmt.Errorf("server draining")
+		return 0, true, fmt.Errorf("server draining")
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
-		return 0, fmt.Errorf("session limit reached (%d)", s.cfg.MaxSessions)
+		return 0, true, fmt.Errorf("session limit reached (%d)", s.cfg.MaxSessions)
+	}
+	if _, busy := s.tokens[sess.token]; busy {
+		// The original connection may not have noticed its death yet; a
+		// moment later the token frees up, so this too is retryable.
+		return 0, true, fmt.Errorf("session token already active")
 	}
 	s.nextID++
 	s.sessions[s.nextID] = sess
+	s.tokens[sess.token] = struct{}{}
 	s.metrics.sessionsTotal.Add(1)
 	s.metrics.sessionsActive.Add(1)
-	return s.nextID, nil
+	return s.nextID, false, nil
 }
 
 func (s *Server) unregister(id uint64) {
 	s.mu.Lock()
-	_, ok := s.sessions[id]
+	sess, ok := s.sessions[id]
 	delete(s.sessions, id)
+	if ok {
+		delete(s.tokens, sess.token)
+	}
 	s.mu.Unlock()
 	if ok {
 		s.metrics.sessionsActive.Add(-1)
 	}
 }
 
-// handleConn owns one connection: the open handshake inline, then the
-// reader/runner goroutine pair.
+// handleConn owns one connection: the open (or resume) handshake
+// inline, then the reader/runner goroutine pair, then the disconnect
+// checkpoint if the session did not finish.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
@@ -293,10 +376,20 @@ func (s *Server) handleConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 256<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	reject := func(err error) {
+		s.armWrite(conn)
 		wire.WriteFrame(bw, wire.FrameError, []byte(err.Error()))
 		bw.Flush()
 	}
+	shed := func(err error) {
+		s.metrics.shedRequests.Add(1)
+		s.armWrite(conn)
+		writeJSONFrame(bw, wire.FrameRetryAfter, wire.RetryAfter{
+			AfterMillis: s.cfg.RetryAfterHint.Milliseconds(),
+			Reason:      err.Error(),
+		})
+	}
 
+	s.armRead(conn)
 	t, payload, err := wire.ReadFrame(br)
 	if err != nil {
 		return // client vanished before speaking
@@ -311,29 +404,58 @@ func (s *Server) handleConn(conn net.Conn) {
 		reject(fmt.Errorf("bad open request: %v", err))
 		return
 	}
-	prof, err := core.NewProfiler(req.Config)
-	if err != nil {
-		reject(err)
-		return
-	}
 
-	sess := &session{
-		conn:    conn,
-		prof:    prof,
-		machine: prof.NewMachine(*s.cfg.Costs),
+	var sess *session
+	if req.ResumeToken != "" {
+		sess, err = s.resumeSession(conn, req)
+		if err != nil {
+			s.metrics.resumeFailures.Add(1)
+			reject(fmt.Errorf("resume: %v", err))
+			return
+		}
+	} else {
+		prof, err := core.NewProfiler(req.Config)
+		if err != nil {
+			reject(err)
+			return
+		}
+		sess = &session{
+			conn:    conn,
+			prof:    prof,
+			machine: prof.NewMachine(*s.cfg.Costs),
+			token:   newSessionToken(),
+		}
 	}
-	id, err := s.register(sess)
+	id, retryable, err := s.register(sess)
 	if err != nil {
-		reject(err)
+		if retryable {
+			shed(err)
+		} else {
+			reject(err)
+		}
 		return
 	}
 	sess.id = id
 	defer s.unregister(id)
+	if req.ResumeToken != "" {
+		s.metrics.resumedSessions.Add(1)
+	} else if err := s.checkpointSession(sess); err != nil {
+		// The open checkpoint anchors the token durably: once the
+		// client holds it, a resume must find something. Refuse the
+		// session rather than hand out a token that can dangle.
+		reject(fmt.Errorf("initial checkpoint: %v", err))
+		return
+	}
 
+	s.armWrite(conn)
 	if err := writeJSONFrame(bw, wire.FrameOpenOK, wire.OpenReply{
-		SessionID:  id,
-		QueueDepth: s.cfg.QueueDepth,
-		MaxBatch:   s.cfg.MaxBatch,
+		SessionID:       id,
+		QueueDepth:      s.cfg.QueueDepth,
+		MaxBatch:        s.cfg.MaxBatch,
+		Token:           sess.token,
+		ResumeSeq:       sess.lastApplied,
+		Done:            sess.completed,
+		CheckpointEvery: s.cfg.CheckpointEvery,
 	}); err != nil {
 		return
 	}
@@ -345,6 +467,80 @@ func (s *Server) handleConn(conn net.Conn) {
 	// Unblock a reader stuck enqueueing if the runner bailed early
 	// (reply write failed); otherwise it would hold its batch forever.
 	close(runnerDone)
+	// The reader and runner are both done with the profiler now; a
+	// disconnect checkpoint lets the client resume mid-stream. (It runs
+	// before the deferred unregister frees the token, so a racing
+	// resume cannot observe the stale pre-disconnect checkpoint.)
+	if !sess.completed {
+		if err := s.checkpointSession(sess); err != nil {
+			s.cfg.Logf("rdxd: session %d: disconnect checkpoint: %v", sess.id, err)
+		}
+	}
+}
+
+// resumeSession rebuilds a session from its retained checkpoint. For a
+// finished session it carries the retained final result instead of a
+// live profiler; the runner serves it to a retried Finish.
+func (s *Server) resumeSession(conn net.Conn, req wire.OpenRequest) (*session, error) {
+	ent, err := s.ckpts.load(req.ResumeToken)
+	if err != nil {
+		return nil, err
+	}
+	if ent.seq < req.LastAcked {
+		return nil, fmt.Errorf("checkpoint covers batch %d but client holds ack %d", ent.seq, req.LastAcked)
+	}
+	sess := &session{
+		conn:        conn,
+		token:       req.ResumeToken,
+		lastApplied: ent.seq,
+	}
+	if ent.final != nil {
+		sess.completed = true
+		sess.finalResult = append([]byte(nil), ent.final...)
+		return sess, nil
+	}
+	prof, machine, err := core.RestoreProfiler(ent.blob)
+	if err != nil {
+		return nil, fmt.Errorf("corrupt checkpoint: %v", err)
+	}
+	if prof.Config() != req.Config {
+		return nil, fmt.Errorf("config does not match the checkpointed session")
+	}
+	if machine == nil {
+		machine = prof.NewMachine(*s.cfg.Costs)
+	}
+	sess.prof, sess.machine = prof, machine
+	sess.accesses.Store(machine.Account().Accesses)
+	sess.stateBytes.Store(prof.StateBytes())
+	return sess, nil
+}
+
+// checkpointSession captures the session's full profiler state into
+// the checkpoint store. It must only run while the session's machine
+// is quiescent (from the runner goroutine, or after both loops exit).
+func (s *Server) checkpointSession(sess *session) error {
+	blob := sess.prof.Checkpoint()
+	if err := s.ckpts.save(sess.token, sess.lastApplied, blob); err != nil {
+		return err
+	}
+	sess.sinceCkpt = 0
+	s.metrics.checkpointsTotal.Add(1)
+	s.metrics.checkpointBytes.Add(uint64(len(blob)))
+	return nil
+}
+
+// armRead arms the per-frame read deadline on conn.
+func (s *Server) armRead(conn net.Conn) {
+	if s.cfg.ReadTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	}
+}
+
+// armWrite arms the per-frame write deadline on conn.
+func (s *Server) armWrite(conn net.Conn) {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
 }
 
 // item is one unit of session work, produced by the reader and
@@ -352,13 +548,16 @@ func (s *Server) handleConn(conn net.Conn) {
 type item struct {
 	kind  itemKind
 	batch []mem.Access
-	err   error // itemFail: the protocol error to report
+	seq   uint64 // itemBatch: the batch's sequence number
+	err   error  // itemFail: the protocol error to report
 }
 
 // readLoop decodes frames into the session queue. It is the only
 // sender on queue and closes it when the session's inbound side ends —
 // after Finish, on protocol error (itemFail carries it), or when the
 // connection dies (sess.dead is set so the runner discards leftovers).
+// Each frame gets a fresh read deadline; a client silent for longer
+// loses the connection and resumes from the disconnect checkpoint.
 func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, runnerDone <-chan struct{}) {
 	defer close(queue)
 	enqueue := func(it item) bool {
@@ -370,17 +569,19 @@ func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, ru
 		}
 	}
 	for {
+		s.armRead(sess.conn)
 		t, payload, err := wire.ReadFrame(br)
 		if err != nil {
-			// io.EOF without Finish, or a mid-frame cut: the client is
-			// gone. Nothing to reply to.
+			// io.EOF without Finish, a mid-frame cut, or a frame that
+			// failed its checksum: the stream is unusable. Nothing to
+			// reply to; the client reconnects and resumes.
 			sess.dead.Store(true)
 			return
 		}
 		s.metrics.bytesIn.Add(uint64(5 + len(payload)))
 		switch t {
 		case wire.FrameBatch:
-			batch, err := wire.DecodeBatch(nil, payload)
+			batch, seq, err := wire.DecodeBatch(nil, payload)
 			if err != nil {
 				enqueue(item{kind: itemFail, err: fmt.Errorf("corrupt batch: %w", err)})
 				return
@@ -390,7 +591,11 @@ func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, ru
 				return
 			}
 			s.metrics.noteQueueDepth(len(queue) + 1)
-			if !enqueue(item{kind: itemBatch, batch: batch}) {
+			if !enqueue(item{kind: itemBatch, batch: batch, seq: seq}) {
+				return
+			}
+		case wire.FrameSync:
+			if !enqueue(item{kind: itemSync}) {
 				return
 			}
 		case wire.FrameSnapshot:
@@ -407,10 +612,24 @@ func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, ru
 	}
 }
 
+// errorLinger bounds how long a failed session keeps reading after the
+// error frame went out, so our close doesn't become a TCP reset that
+// discards the frame before the client reads it.
+const errorLinger = 2 * time.Second
+
 // runLoop drains the session queue: executes batches under the worker
-// semaphore, answers snapshots, and emits the final result. It is the
-// only writer on bw after the open handshake.
+// semaphore (discarding replayed duplicates by sequence number),
+// answers snapshots and syncs, and emits the final result. It is the
+// only writer on bw after the open handshake, and every reply write
+// runs under the configured write deadline.
 func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item) {
+	fail := func(err error) {
+		s.armWrite(sess.conn)
+		wire.WriteFrame(bw, wire.FrameError, []byte(err.Error()))
+		bw.Flush()
+		sess.conn.SetReadDeadline(time.Now().Add(errorLinger))
+		io.Copy(io.Discard, sess.conn)
+	}
 	for it := range queue {
 		if sess.dead.Load() && it.kind == itemBatch {
 			// The client is gone; executing its leftovers would be
@@ -420,46 +639,103 @@ func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item) {
 		}
 		switch it.kind {
 		case itemBatch:
+			if it.seq <= sess.lastApplied {
+				// Already executed before a reconnect; the resume
+				// replay is discarded, so re-delivery is idempotent.
+				s.metrics.replayedBatches.Add(1)
+				continue
+			}
+			if it.seq != sess.lastApplied+1 {
+				fail(fmt.Errorf("batch sequence gap: got %d, want %d", it.seq, sess.lastApplied+1))
+				return
+			}
+			if sess.completed {
+				fail(fmt.Errorf("session already finished"))
+				return
+			}
 			s.sem <- struct{}{}
 			sess.machine.Execute(it.batch)
 			if s.cfg.StepDelay > 0 {
 				time.Sleep(s.cfg.StepDelay)
 			}
 			<-s.sem
+			sess.lastApplied = it.seq
+			sess.sinceCkpt++
 			sess.accesses.Store(sess.machine.Account().Accesses)
 			sess.stateBytes.Store(sess.prof.StateBytes())
 			s.metrics.batchesTotal.Add(1)
 			s.metrics.accessesTotal.Add(uint64(len(it.batch)))
+			if s.cfg.CheckpointEvery > 0 && sess.sinceCkpt >= s.cfg.CheckpointEvery {
+				if err := s.checkpointSession(sess); err != nil {
+					s.cfg.Logf("rdxd: session %d: periodic checkpoint: %v", sess.id, err)
+				}
+			}
+		case itemSync:
+			// A sync acknowledgment promises durability: the checkpoint
+			// must land before the ack goes out, or the session fails.
+			if !sess.completed {
+				if err := s.checkpointSession(sess); err != nil {
+					fail(fmt.Errorf("checkpoint failed: %v", err))
+					return
+				}
+			}
+			var ack [8]byte
+			binary.BigEndian.PutUint64(ack[:], sess.lastApplied)
+			s.armWrite(sess.conn)
+			if err := wire.WriteFrame(bw, wire.FrameAck, ack[:]); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		case itemSnapshot:
+			if sess.completed {
+				fail(fmt.Errorf("session already finished"))
+				return
+			}
 			s.sem <- struct{}{}
 			snap := sess.prof.Snapshot()
 			<-s.sem
 			s.metrics.snapshotsTotal.Add(1)
+			s.armWrite(sess.conn)
 			if err := writeJSONFrame(bw, wire.FrameSnapshotResult, wire.FromCore(snap, false)); err != nil {
 				return
 			}
 		case itemFinish:
+			if sess.completed {
+				// A resumed finished session: serve the retained result
+				// again; the original reply was lost in flight.
+				s.armWrite(sess.conn)
+				wire.WriteFrame(bw, wire.FrameResult, sess.finalResult)
+				bw.Flush()
+				return
+			}
 			s.sem <- struct{}{}
 			sess.machine.Finish()
 			res := sess.prof.Result()
 			<-s.sem
-			writeJSONFrame(bw, wire.FrameResult, wire.FromCore(res, true))
+			payload := mustJSON(wire.FromCore(res, true))
+			sess.completed = true
+			sess.finalResult = payload
+			// Retain the result before replying: if the reply is lost,
+			// a resume fetches it again instead of losing the run.
+			if err := s.ckpts.saveFinal(sess.token, sess.lastApplied, payload); err != nil {
+				s.cfg.Logf("rdxd: session %d: retaining final result: %v", sess.id, err)
+			}
+			s.armWrite(sess.conn)
+			wire.WriteFrame(bw, wire.FrameResult, payload)
+			bw.Flush()
 			return
 		case itemFail:
-			wire.WriteFrame(bw, wire.FrameError, []byte(it.err.Error()))
-			bw.Flush()
-			// Linger reading until the peer closes (bounded), so our
-			// close doesn't become a TCP reset that discards the error
-			// frame before the client reads it.
-			sess.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-			io.Copy(io.Discard, sess.conn)
+			fail(it.err)
 			return
 		}
 	}
-	// Queue closed without Finish: abandoned session. Its profiler and
-	// machine go out of scope here, freeing the per-session state.
+	// Queue closed without Finish: the connection dropped or the client
+	// abandoned the session. handleConn takes the disconnect checkpoint
+	// once the reader is done too.
 	if n := sess.accesses.Load(); n > 0 {
-		s.cfg.Logf("rdxd: session %d abandoned after %d accesses", sess.id, n)
+		s.cfg.Logf("rdxd: session %d disconnected after %d accesses", sess.id, n)
 	}
 }
 

@@ -21,6 +21,13 @@ type session struct {
 	prof    *core.Profiler
 	machine *cpu.Machine
 
+	// Fault-tolerance state, owned by the runner goroutine.
+	token       string // resume token handed to the client at open
+	lastApplied uint64 // highest batch sequence number executed
+	sinceCkpt   int    // batches executed since the last checkpoint
+	completed   bool   // Finish ran; finalResult holds the reply
+	finalResult []byte // retained final-result JSON (completed sessions)
+
 	dead       atomic.Bool   // reader saw the connection die
 	accesses   atomic.Uint64 // executed so far
 	stateBytes atomic.Uint64 // profiler state after the last batch
@@ -31,6 +38,7 @@ type itemKind int
 const (
 	itemBatch itemKind = iota
 	itemSnapshot
+	itemSync
 	itemFinish
 	itemFail
 )

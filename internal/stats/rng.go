@@ -20,6 +20,12 @@ func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 // Seed resets the generator state.
 func (r *RNG) Seed(seed uint64) { r.state = seed }
 
+// State returns the generator's internal state. Together with Seed it
+// makes the RNG checkpointable: Seed(State()) on a fresh generator
+// reproduces the exact future random sequence, which the profiler's
+// lossless checkpoint/restore path depends on.
+func (r *RNG) State() uint64 { return r.state }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

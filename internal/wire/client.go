@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bufio"
+	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,6 +20,10 @@ import (
 // distinguish a server-side rejection from a transport failure.
 var ErrRemote = errors.New("wire: remote error")
 
+// DefaultDialTimeout bounds connection establishment when the caller's
+// context carries no deadline of its own.
+const DefaultDialTimeout = 10 * time.Second
+
 // Client is one profiling session against an rdxd daemon. It is not safe
 // for concurrent use; a caller wanting parallel sessions opens one
 // Client per session (the daemon multiplexes).
@@ -29,11 +35,20 @@ type Client struct {
 	opened  bool
 	done    bool
 	reply   OpenReply
+	nextSeq uint64 // sequence number of the next batch (first batch is 1)
 }
 
-// Dial connects to an rdxd daemon.
+// Dial connects to an rdxd daemon with the default timeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to an rdxd daemon, honoring ctx for cancellation
+// and deadline. When ctx has no deadline, DefaultDialTimeout applies —
+// a dial can never hang forever.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	d := net.Dialer{Timeout: DefaultDialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
 	}
@@ -51,12 +66,25 @@ func NewClient(conn net.Conn) *Client {
 }
 
 // Open starts the session with the given profiler configuration and
-// returns the server's session geometry.
+// returns the server's session geometry. If the server sheds the open
+// (at capacity or draining), the error is a *RetryAfterError.
 func (c *Client) Open(cfg core.Config) (OpenReply, error) {
+	return c.open(OpenRequest{Config: cfg})
+}
+
+// Resume reopens an interrupted session identified by token: the server
+// restores it from its checkpoint and reports, via OpenReply.ResumeSeq,
+// the last batch sequence number already executed. The caller replays
+// batches after it (SetNextSeq positions the outgoing counter).
+func (c *Client) Resume(cfg core.Config, token string, lastAcked uint64) (OpenReply, error) {
+	return c.open(OpenRequest{Config: cfg, ResumeToken: token, LastAcked: lastAcked})
+}
+
+func (c *Client) open(req OpenRequest) (OpenReply, error) {
 	if c.opened {
 		return OpenReply{}, fmt.Errorf("wire: session already open")
 	}
-	if err := c.send(FrameOpen, marshalJSON(OpenRequest{Config: cfg})); err != nil {
+	if err := c.send(FrameOpen, marshalJSON(req)); err != nil {
 		return OpenReply{}, err
 	}
 	payload, err := c.expect(FrameOpenOK)
@@ -67,8 +95,16 @@ func (c *Client) Open(cfg core.Config) (OpenReply, error) {
 		return OpenReply{}, fmt.Errorf("wire: decoding open reply: %w", err)
 	}
 	c.opened = true
+	c.nextSeq = c.reply.ResumeSeq + 1
 	return c.reply, nil
 }
+
+// NextSeq returns the sequence number the next SendBatch will use.
+func (c *Client) NextSeq() uint64 { return c.nextSeq }
+
+// SetNextSeq positions the outgoing batch sequence counter, used when
+// replaying an unacknowledged tail after a resume.
+func (c *Client) SetNextSeq(seq uint64) { c.nextSeq = seq }
 
 // SendBatch streams one batch of accesses to the session. It blocks when
 // the daemon applies backpressure (its bounded session queue is full and
@@ -81,11 +117,36 @@ func (c *Client) SendBatch(accs []mem.Access) error {
 	if len(accs) == 0 {
 		return nil
 	}
-	payload, err := c.encodeBatch(accs)
+	payload, err := c.encodeBatch(c.nextSeq, accs)
 	if err != nil {
 		return err
 	}
-	return c.send(FrameBatch, payload)
+	if err := c.send(FrameBatch, payload); err != nil {
+		return err
+	}
+	c.nextSeq++
+	return nil
+}
+
+// Sync asks the server to durably checkpoint the session and returns
+// the acknowledged batch sequence number: every batch up to it has been
+// executed and captured in a checkpoint, so a replay buffer can be
+// trimmed to the batches after it.
+func (c *Client) Sync() (uint64, error) {
+	if err := c.ensureStreaming(); err != nil {
+		return 0, err
+	}
+	if err := c.send(FrameSync, nil); err != nil {
+		return 0, err
+	}
+	payload, err := c.expect(FrameAck)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("wire: ack payload of %d bytes, want 8", len(payload))
+	}
+	return binary.BigEndian.Uint64(payload), nil
 }
 
 // Snapshot requests a live intermediate result: the profile the session
@@ -177,9 +238,13 @@ func (c *Client) ensureStreaming() error {
 	return nil
 }
 
-// encodeBatch encodes accs into the client's scratch buffer.
-func (c *Client) encodeBatch(accs []mem.Access) ([]byte, error) {
+// encodeBatch encodes the batch payload (sequence number + RDT3) into
+// the client's scratch buffer.
+func (c *Client) encodeBatch(seq uint64, accs []mem.Access) ([]byte, error) {
 	w := newSliceWriter(c.scratch[:0])
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], seq)
+	w.Write(hdr[:])
 	tw, err := trace.NewWriter(w)
 	if err != nil {
 		return nil, err
@@ -206,7 +271,7 @@ func (c *Client) send(t FrameType, payload []byte) error {
 }
 
 // expect reads the next server frame, converting FrameError into an
-// ErrRemote-wrapped error.
+// ErrRemote-wrapped error and FrameRetryAfter into a *RetryAfterError.
 func (c *Client) expect(want FrameType) ([]byte, error) {
 	t, payload, err := ReadFrame(c.br)
 	if err == io.EOF {
@@ -217,6 +282,16 @@ func (c *Client) expect(want FrameType) ([]byte, error) {
 	}
 	if t == FrameError {
 		return nil, fmt.Errorf("%w: %s", ErrRemote, payload)
+	}
+	if t == FrameRetryAfter {
+		var ra RetryAfter
+		if err := json.Unmarshal(payload, &ra); err != nil {
+			return nil, fmt.Errorf("wire: decoding retry-after: %w", err)
+		}
+		return nil, &RetryAfterError{
+			After:  time.Duration(ra.AfterMillis) * time.Millisecond,
+			Reason: ra.Reason,
+		}
 	}
 	if t != want {
 		return nil, fmt.Errorf("wire: server sent %s frame, want %s", t, want)

@@ -8,23 +8,38 @@
 //
 // Every frame is
 //
-//	length [4]byte  big-endian; covers type + payload
+//	length [4]byte  big-endian; covers type + checksum + payload
 //	type   byte     FrameType
-//	payload         length-1 bytes
+//	crc    [4]byte  big-endian IEEE crc32 over type + payload
+//	payload         length-5 bytes
+//
+// The checksum makes in-flight corruption a detectable transport error
+// everywhere at once — batch sequence numbers, acks, JSON results and
+// the open handshake — instead of silently altering profile data. A
+// frame that fails its checksum is indistinguishable from a cut
+// connection: the client reconnects and resumes, the server checkpoints
+// the session as disconnected.
 //
 // Frames never interleave within one direction of a connection. The
 // client speaks first (FrameOpen); the server replies to each
-// result-bearing request (FrameSnapshot, FrameFinish) in request order,
-// so the client can match replies without ids. FrameError may replace
-// any reply and is terminal for the session.
+// result-bearing request (FrameSnapshot, FrameFinish, FrameSync) in
+// request order, so the client can match replies without ids.
+// FrameError may replace any reply and is terminal for the session;
+// FrameRetryAfter may replace the open reply and asks the client to
+// come back later.
 //
 // # Batch payloads
 //
-// A FrameBatch payload is a complete RDT3 stream (magic, delta-encoded
-// records, end-of-stream trailer — see internal/trace). Delta state
-// resets at each frame boundary, so frames are independently decodable
-// and a frame cut off by a dying connection is detected by the trace
-// layer's truncation check, not executed half-way.
+// A FrameBatch payload is an 8-byte big-endian sequence number followed
+// by a complete RDT3 stream (magic, delta-encoded records,
+// end-of-stream trailer — see internal/trace). Sequence numbers start
+// at 1 and increase by 1 per batch within a session; a resumed session
+// replays its unacknowledged tail and the server discards batches whose
+// sequence number it has already executed, making replay idempotent.
+// Delta state resets at each frame boundary, so frames are
+// independently decodable and a frame cut off by a dying connection is
+// detected by the trace layer's truncation check, not executed
+// half-way.
 package wire
 
 import (
@@ -32,7 +47,9 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/histogram"
@@ -54,6 +71,10 @@ const (
 	// FrameFinish (client→server) ends the stream and requests the final
 	// result; empty payload.
 	FrameFinish FrameType = 0x04
+	// FrameSync (client→server) asks the server to durably checkpoint
+	// the session and acknowledge the last executed batch sequence
+	// number; empty payload. The reply is FrameAck.
+	FrameSync FrameType = 0x05
 
 	// FrameOpenOK (server→client) acknowledges FrameOpen; payload
 	// OpenReply.
@@ -66,6 +87,14 @@ const (
 	// FrameError (server→client) carries a UTF-8 error message and ends
 	// the session.
 	FrameError FrameType = 0x13
+	// FrameAck (server→client) answers FrameSync; payload is the 8-byte
+	// big-endian sequence number of the last batch covered by a durable
+	// checkpoint. The client may discard its replay buffer up to it.
+	FrameAck FrameType = 0x14
+	// FrameRetryAfter (server→client) replaces the open reply when the
+	// server is at capacity or draining; payload RetryAfter (JSON). The
+	// session was not admitted and the client should back off.
+	FrameRetryAfter FrameType = 0x15
 )
 
 // String names the frame type for diagnostics.
@@ -79,6 +108,8 @@ func (t FrameType) String() string {
 		return "snapshot"
 	case FrameFinish:
 		return "finish"
+	case FrameSync:
+		return "sync"
 	case FrameOpenOK:
 		return "open-ok"
 	case FrameResult:
@@ -87,6 +118,10 @@ func (t FrameType) String() string {
 		return "snapshot-result"
 	case FrameError:
 		return "error"
+	case FrameAck:
+		return "ack"
+	case FrameRetryAfter:
+		return "retry-after"
 	default:
 		return fmt.Sprintf("FrameType(%#x)", uint8(t))
 	}
@@ -97,14 +132,25 @@ func (t FrameType) String() string {
 // batch frames are a few hundred KiB.
 const MaxFramePayload = 64 << 20
 
+// frameOverhead is the frame body's fixed prefix: type byte + crc32.
+const frameOverhead = 5
+
+// frameCRC computes the checksum carried in a frame: IEEE crc32 over
+// the type byte followed by the payload.
+func frameCRC(t FrameType, payload []byte) uint32 {
+	crc := crc32.Update(0, crc32.IEEETable, []byte{byte(t)})
+	return crc32.Update(crc, crc32.IEEETable, payload)
+}
+
 // WriteFrame writes one frame to w.
 func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 	if len(payload) > MaxFramePayload {
 		return fmt.Errorf("wire: %s frame payload %d bytes exceeds limit %d", t, len(payload), MaxFramePayload)
 	}
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	var hdr [9]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(frameOverhead+len(payload)))
 	hdr[4] = byte(t)
+	binary.BigEndian.PutUint32(hdr[5:], frameCRC(t, payload))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -116,46 +162,111 @@ func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame from r. io.EOF is returned untouched when
-// the stream ends cleanly between frames; a stream cut inside a frame
-// returns a descriptive error.
+// readChunk bounds a single allocation while reading a length-prefixed
+// body: memory grows with the bytes actually received, so a lying
+// length prefix cannot allocate MaxFramePayload up front.
+const readChunk = 1 << 20
+
+// ReadFrame reads one frame from r, verifying its checksum. io.EOF is
+// returned untouched when the stream ends cleanly between frames; a
+// stream cut inside a frame, an impossible length, or a checksum
+// mismatch (in-flight corruption) returns a descriptive error.
 func ReadFrame(r io.Reader) (FrameType, []byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
 		if err == io.EOF {
 			return 0, nil, io.EOF
 		}
 		return 0, nil, fmt.Errorf("wire: stream cut inside frame header: %w", err)
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
 	if n == 0 {
 		return 0, nil, fmt.Errorf("wire: zero-length frame")
 	}
-	if n > MaxFramePayload+1 {
-		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFramePayload+1)
+	if n < frameOverhead {
+		return 0, nil, fmt.Errorf("wire: %d-byte frame shorter than its %d-byte fixed prefix", n, frameOverhead)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, fmt.Errorf("wire: stream cut inside %d-byte frame: %w", n, err)
+	if n > MaxFramePayload+frameOverhead {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFramePayload+frameOverhead)
 	}
-	return FrameType(body[0]), body[1:], nil
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return 0, nil, fmt.Errorf("wire: stream cut inside frame prefix: %w", err)
+	}
+	t := FrameType(hdr[4])
+	want := binary.BigEndian.Uint32(hdr[5:])
+
+	payload := make([]byte, 0, min(int(n)-frameOverhead, readChunk))
+	for remaining := int(n) - frameOverhead; remaining > 0; {
+		take := min(remaining, readChunk)
+		off := len(payload)
+		payload = append(payload, make([]byte, take)...)
+		if _, err := io.ReadFull(r, payload[off:]); err != nil {
+			return 0, nil, fmt.Errorf("wire: stream cut inside %d-byte frame: %w", n, err)
+		}
+		remaining -= take
+	}
+	if got := frameCRC(t, payload); got != want {
+		return 0, nil, fmt.Errorf("wire: %s frame checksum mismatch (corrupt stream)", t)
+	}
+	return t, payload, nil
 }
 
 // OpenRequest is the payload of FrameOpen: the profiler configuration
 // the session should run. The config round-trips exactly (integer and
 // boolean fields, and a float encoded with Go's shortest-exact rule), so
 // a remote profile is bit-identical to a local one with the same config.
+//
+// A reconnecting client resuming an interrupted session sets
+// ResumeToken to the token from its original open reply and LastAcked
+// to the highest batch sequence number the server has acknowledged; the
+// server restores the session from its checkpoint and the client
+// replays its unacknowledged tail.
 type OpenRequest struct {
-	Config core.Config `json:"config"`
+	Config      core.Config `json:"config"`
+	ResumeToken string      `json:"resume_token,omitempty"`
+	LastAcked   uint64      `json:"last_acked,omitempty"`
 }
 
-// OpenReply is the payload of FrameOpenOK: the session id and the
-// server's flow-control geometry, which a client can use to size its
-// batches.
+// OpenReply is the payload of FrameOpenOK: the session id, the server's
+// flow-control geometry (which a client can use to size its batches),
+// and the session's fault-tolerance coordinates.
 type OpenReply struct {
 	SessionID  uint64 `json:"session_id"`
 	QueueDepth int    `json:"queue_depth"`
 	MaxBatch   int    `json:"max_batch"`
+	// Token identifies this session for a later resume. It doubles as a
+	// bearer credential, so clients should not log it.
+	Token string `json:"token,omitempty"`
+	// ResumeSeq is the sequence number of the last batch the restored
+	// session has already executed (0 on a fresh open). The client must
+	// replay batches after it and discard batches up to it.
+	ResumeSeq uint64 `json:"resume_seq,omitempty"`
+	// Done reports that the session already finished and its final
+	// result is retained: the client should skip straight to Finish.
+	// It covers the race where the final result frame is lost in flight
+	// after the server completed the session.
+	Done bool `json:"done,omitempty"`
+	// CheckpointEvery is the server's periodic checkpoint interval in
+	// batches (0 = only on disconnect), a hint for client sync cadence.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// RetryAfter is the payload of FrameRetryAfter: the server refused to
+// admit the session and suggests when to try again.
+type RetryAfter struct {
+	AfterMillis int64  `json:"after_ms"`
+	Reason      string `json:"reason"`
+}
+
+// RetryAfterError is the error ReconnectingClient and Client surface
+// when the server sheds an open with FrameRetryAfter.
+type RetryAfterError struct {
+	After  time.Duration
+	Reason string
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("wire: server busy (%s), retry after %v", e.Reason, e.After)
 }
 
 // Result is the serializable profile exchanged between daemon and
@@ -206,9 +317,16 @@ func FromCore(res *core.Result, final bool) *Result {
 	}
 }
 
-// EncodeBatch appends the RDT3 encoding of accs to buf (reset first).
-func EncodeBatch(buf *bytes.Buffer, accs []mem.Access) error {
+// batchSeqBytes is the sequence-number prefix of a FrameBatch payload.
+const batchSeqBytes = 8
+
+// EncodeBatch resets buf and writes a batch payload into it: the 8-byte
+// big-endian sequence number followed by the RDT3 encoding of accs.
+func EncodeBatch(buf *bytes.Buffer, seq uint64, accs []mem.Access) error {
 	buf.Reset()
+	var hdr [batchSeqBytes]byte
+	binary.BigEndian.PutUint64(hdr[:], seq)
+	buf.Write(hdr[:])
 	w, err := trace.NewWriter(buf)
 	if err != nil {
 		return err
@@ -221,23 +339,28 @@ func EncodeBatch(buf *bytes.Buffer, accs []mem.Access) error {
 	return w.Close()
 }
 
-// DecodeBatch decodes an RDT3 batch payload, appending into dst (which
-// may be nil) and returning the extended slice. Truncated or corrupt
-// payloads fail with the trace layer's descriptive errors.
-func DecodeBatch(dst []mem.Access, payload []byte) ([]mem.Access, error) {
-	r, err := trace.NewReader(bytes.NewReader(payload))
+// DecodeBatch decodes a batch payload, appending the accesses into dst
+// (which may be nil) and returning the extended slice plus the batch's
+// sequence number. Truncated or corrupt payloads fail with descriptive
+// errors.
+func DecodeBatch(dst []mem.Access, payload []byte) ([]mem.Access, uint64, error) {
+	if len(payload) < batchSeqBytes {
+		return dst, 0, fmt.Errorf("wire: batch payload of %d bytes lacks its sequence number", len(payload))
+	}
+	seq := binary.BigEndian.Uint64(payload)
+	r, err := trace.NewReader(bytes.NewReader(payload[batchSeqBytes:]))
 	if err != nil {
-		return dst, err
+		return dst, seq, err
 	}
 	buf := make([]mem.Access, trace.DefaultBatchSize)
 	for {
 		n, err := r.Read(buf)
 		dst = append(dst, buf[:n]...)
 		if err == io.EOF {
-			return dst, nil
+			return dst, seq, nil
 		}
 		if err != nil {
-			return dst, err
+			return dst, seq, err
 		}
 	}
 }

@@ -64,6 +64,32 @@ func TestFrameTruncation(t *testing.T) {
 	}
 }
 
+// TestFrameDetectsCorruption: flipping any single byte of an encoded
+// frame must surface as an error (checksum mismatch, bad length or a
+// detectable downstream failure) — never as a silently altered payload.
+func TestFrameDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("reuse-distance payload 0123456789")
+	if err := WriteFrame(&buf, FrameBatch, payload); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := range full {
+		for _, flip := range []byte{0x01, 0x80} {
+			bad := append([]byte(nil), full...)
+			bad[i] ^= flip
+			ft, got, err := ReadFrame(bytes.NewReader(bad))
+			if err != nil {
+				continue // detected: good
+			}
+			if ft == FrameBatch && bytes.Equal(got, payload) {
+				t.Fatalf("byte %d flipped by %#x decoded unchanged", i, flip)
+			}
+			t.Fatalf("byte %d flipped by %#x decoded without error as %s frame", i, flip, ft)
+		}
+	}
+}
+
 func TestFrameRejectsOversizedAndZero(t *testing.T) {
 	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(FrameBatch)}
 	if _, _, err := ReadFrame(bytes.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "limit") {
@@ -85,12 +111,15 @@ func TestBatchRoundTrip(t *testing.T) {
 		{Addr: 64, PC: 0x400020, Size: 1, Kind: mem.Load},
 	}
 	var buf bytes.Buffer
-	if err := EncodeBatch(&buf, accs); err != nil {
+	if err := EncodeBatch(&buf, 42, accs); err != nil {
 		t.Fatal(err)
 	}
-	out, err := DecodeBatch(nil, buf.Bytes())
+	out, seq, err := DecodeBatch(nil, buf.Bytes())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if seq != 42 {
+		t.Fatalf("sequence number round-tripped to %d, want 42", seq)
 	}
 	if !reflect.DeepEqual(out, accs) {
 		t.Fatalf("batch roundtrip mismatch:\n got %v\nwant %v", out, accs)
@@ -98,7 +127,7 @@ func TestBatchRoundTrip(t *testing.T) {
 
 	// A cut-off payload must be rejected, not half-executed.
 	for cut := 0; cut < buf.Len(); cut++ {
-		if _, err := DecodeBatch(nil, buf.Bytes()[:cut]); err == nil {
+		if _, _, err := DecodeBatch(nil, buf.Bytes()[:cut]); err == nil {
 			t.Errorf("cut=%d: truncated batch decoded without error", cut)
 		}
 	}
@@ -110,13 +139,13 @@ func TestBatchDeltaStateResetsPerFrame(t *testing.T) {
 	a := []mem.Access{{Addr: 1 << 40, PC: 0x400000, Size: 8}}
 	b := []mem.Access{{Addr: 8, PC: 0x400004, Size: 8}}
 	var f1, f2 bytes.Buffer
-	if err := EncodeBatch(&f1, a); err != nil {
+	if err := EncodeBatch(&f1, 1, a); err != nil {
 		t.Fatal(err)
 	}
-	if err := EncodeBatch(&f2, b); err != nil {
+	if err := EncodeBatch(&f2, 2, b); err != nil {
 		t.Fatal(err)
 	}
-	out, err := DecodeBatch(nil, f2.Bytes())
+	out, _, err := DecodeBatch(nil, f2.Bytes())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@
 package rdx
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -141,20 +142,37 @@ type (
 	// RemoteOptions tunes a remote session (batch size, live-snapshot
 	// cadence).
 	RemoteOptions = wire.ProfileOptions
+	// RetryPolicy tunes ProfileRemoteResilient's fault handling:
+	// attempts, backoff, per-RPC timeouts, sync cadence.
+	RetryPolicy = wire.RetryPolicy
 )
 
 // ProfileRemote profiles an access stream on an rdxd daemon at addr
 // instead of in-process. The daemon runs the identical engine, so the
 // returned profile is bit-identical to Profile(r, cfg) locally; use it
 // to move profiling load off the measuring host or to watch live
-// snapshots of a long run (RemoteOptions.OnSnapshot).
-func ProfileRemote(addr string, r Reader, cfg Config, opts RemoteOptions) (*RemoteResult, error) {
-	c, err := wire.Dial(addr)
+// snapshots of a long run (RemoteOptions.OnSnapshot). The ctx bounds
+// connection establishment; for cancellation and timeouts covering the
+// whole session, use ProfileRemoteResilient.
+func ProfileRemote(ctx context.Context, addr string, r Reader, cfg Config, opts RemoteOptions) (*RemoteResult, error) {
+	c, err := wire.DialContext(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
 	defer c.Close()
 	return c.Profile(r, cfg, opts)
+}
+
+// ProfileRemoteResilient is ProfileRemote with fault tolerance: the
+// session transparently reconnects with exponential backoff, resumes
+// from the daemon's checkpoint, and replays unacknowledged batches —
+// surviving connection drops, corrupted frames, and even a daemon
+// restart (when rdxd runs with -checkpoint-dir). The result is still
+// bit-identical to the local Profile.
+func ProfileRemoteResilient(ctx context.Context, addr string, r Reader, cfg Config, opts RemoteOptions, policy RetryPolicy) (*RemoteResult, error) {
+	c := wire.NewReconnectingClient(addr, cfg, policy)
+	defer c.Close()
+	return c.Profile(ctx, r, opts)
 }
 
 // ResultToRemote converts a locally produced Result into the wire form,

@@ -14,4 +14,10 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Short fuzz smoke on the wire-protocol decoders: enough to catch a
+# regression in the corpus or an obvious panic, cheap enough for CI.
+echo "==> fuzz smoke (wire decoders, 10s each)"
+go test -run='^$' -fuzz='^FuzzReadFrame$' -fuzztime=10s ./internal/wire
+go test -run='^$' -fuzz='^FuzzDecodeBatch$' -fuzztime=10s ./internal/wire
+
 echo "check: OK"
