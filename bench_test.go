@@ -360,7 +360,8 @@ func BenchmarkExactOracle(b *testing.B) {
 
 // BenchmarkServerThroughput measures end-to-end rdxd streaming over
 // loopback TCP — encode, framing, decode and engine execution — at 1,
-// 4 and 16 concurrent sessions, in aggregate accesses/sec.
+// 4, 16 and 64 concurrent sessions (64 is the daemon's MaxSessions
+// default, so this is the saturation point), in aggregate accesses/sec.
 func BenchmarkServerThroughput(b *testing.B) {
 	srv, err := server.New(server.Config{Logf: func(string, ...any) {}})
 	if err != nil {
@@ -371,7 +372,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 
 	cfg := core.DefaultConfig()
 	cfg.SamplePeriod = 8 << 10
-	for _, sessions := range []int{1, 4, 16} {
+	for _, sessions := range []int{1, 4, 16, 64} {
 		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
 			perSession := (uint64(b.N) + uint64(sessions)) / uint64(sessions)
 			accs, err := trace.Collect(trace.ZipfAccess(1, 0, 1<<14, 1.0, perSession))

@@ -30,7 +30,8 @@ func main() {
 		period   = flag.Uint64("period", 8<<10, "default RDX sampling period")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		benchOut = flag.String("bench-out", "", "run the engine and server throughput benchmarks and write their JSON records to this path (e.g. BENCH_engine.json; BENCH_server.json is written alongside), then exit")
+		benchOut      = flag.String("bench-out", "", "run the engine and server throughput benchmarks and write their JSON records to this path (e.g. BENCH_engine.json; BENCH_server.json is written alongside), then exit")
+		benchBaseline = flag.String("bench-baseline", "", "directory holding a prior BENCH_engine.json/BENCH_server.json pair to embed as the baseline rows of the new records")
 	)
 	flag.Parse()
 
@@ -54,6 +55,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *benchBaseline != "" {
+			base, err := experiments.ReadEngineBench(filepath.Join(*benchBaseline, "BENCH_engine.json"))
+			if err != nil {
+				fatal(err)
+			}
+			res.AttachBaseline(base)
+		}
 		if err := res.WriteJSON(*benchOut); err != nil {
 			fatal(err)
 		}
@@ -62,6 +70,13 @@ func main() {
 		srv, err := opts.RunServerBench()
 		if err != nil {
 			fatal(err)
+		}
+		if *benchBaseline != "" {
+			base, err := experiments.ReadServerBench(filepath.Join(*benchBaseline, "BENCH_server.json"))
+			if err != nil {
+				fatal(err)
+			}
+			srv.AttachBaseline(base)
 		}
 		srvOut := filepath.Join(filepath.Dir(*benchOut), "BENCH_server.json")
 		if err := srv.WriteJSON(srvOut); err != nil {

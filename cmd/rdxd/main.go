@@ -8,7 +8,7 @@
 //	rdxd [-addr 127.0.0.1:9127] [-admin 127.0.0.1:9128] [-workers 4]
 //	     [-queue-depth 8] [-max-sessions 64] [-drain-timeout 30s]
 //	     [-checkpoint-dir /var/lib/rdxd] [-checkpoint-every 64]
-//	     [-read-timeout 5m] [-write-timeout 1m]
+//	     [-read-timeout 5m] [-write-timeout 1m] [-pprof]
 //
 // SIGTERM or SIGINT drains the daemon: new sessions are refused,
 // in-flight sessions get -drain-timeout to finish, stragglers are cut
@@ -46,6 +46,7 @@ func main() {
 		ckptEvery    = flag.Int("checkpoint-every", 64, "checkpoint each session every N batches (negative disables periodic checkpoints)")
 		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-frame read deadline; idle connections past it are dropped and resumable (negative disables)")
 		writeTimeout = flag.Duration("write-timeout", time.Minute, "per-frame write deadline for replies (negative disables)")
+		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the admin listener")
 	)
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		ReadTimeout:     *readTimeout,
 		WriteTimeout:    *writeTimeout,
+		EnablePprof:     *pprofOn,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdxd:", err)
@@ -68,7 +70,11 @@ func main() {
 	s.Start()
 	log.Printf("rdxd: profiling on %s", s.Addr())
 	if a := s.AdminAddr(); a != "" {
-		log.Printf("rdxd: admin on http://%s (/healthz, /metrics)", a)
+		extra := ""
+		if *pprofOn {
+			extra = ", /debug/pprof/"
+		}
+		log.Printf("rdxd: admin on http://%s (/healthz, /metrics%s)", a, extra)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -56,7 +56,15 @@ const maxCheckpointSlots = 1 << 20
 // Checkpoint must not run concurrently with the machine executing
 // accesses: call it between Execute batches, like Snapshot.
 func (p *Profiler) Checkpoint() []byte {
-	var e ckptEncoder
+	return p.CheckpointInto(nil)
+}
+
+// CheckpointInto is Checkpoint writing into dst's backing array (grown
+// as needed), so periodic checkpointing can recycle blob buffers
+// instead of allocating each one. The returned slice is the checkpoint;
+// dst's previous contents are overwritten.
+func (p *Profiler) CheckpointInto(dst []byte) []byte {
+	e := ckptEncoder{buf: dst[:0]}
 	e.bytes(checkpointMagic[:])
 	e.u8(checkpointVersion)
 	e.config(p.cfg)

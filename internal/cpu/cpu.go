@@ -113,7 +113,10 @@ func (m *Machine) AccessIndex() uint64 { return m.accessIndex }
 func (m *Machine) Run(r trace.Reader) error {
 	m.running = true
 	defer func() { m.running = false }()
-	buf := make([]mem.Access, trace.DefaultBatchSize)
+	// Borrowed, not allocated: repeated profiling runs (rdx.Profile in a
+	// sweep, every experiment harness) share one pooled batch buffer.
+	buf := trace.BatchBuf()
+	defer trace.ReleaseBatchBuf(buf)
 	for {
 		n, err := r.Read(buf)
 		if n > 0 {

@@ -23,17 +23,56 @@ type EngineBenchRow struct {
 	// SpeedupVsRef is this row's throughput over its reference row
 	// (0 when the row has no reference counterpart).
 	SpeedupVsRef float64 `json:"speedup_vs_ref,omitempty"`
+	// VsBaseline is this row's throughput over the same-named row of
+	// the attached baseline record (0 when no baseline row matches).
+	VsBaseline float64 `json:"vs_baseline,omitempty"`
 }
 
 // EngineBenchResult is the machine-readable engine performance record
 // emitted as BENCH_engine.json for the perf trajectory: batched vs
 // reference execution, and parallel vs sequential exact oracle.
+// Baseline, when present, carries the same rows measured at the commit
+// before a performance change.
 type EngineBenchResult struct {
 	Timestamp  string           `json:"timestamp"`
 	GoMaxProcs int              `json:"gomaxprocs"`
 	Accesses   uint64           `json:"accesses"`
 	Period     uint64           `json:"period"`
 	Rows       []EngineBenchRow `json:"rows"`
+	Baseline   []EngineBenchRow `json:"baseline,omitempty"`
+}
+
+// AttachBaseline records base's rows as the pre-change baseline and
+// fills each current row's VsBaseline from the baseline row with the
+// same name.
+func (r *EngineBenchResult) AttachBaseline(base *EngineBenchResult) {
+	if base == nil {
+		return
+	}
+	r.Baseline = base.Rows
+	for i := range r.Rows {
+		for _, b := range base.Rows {
+			if b.Name == r.Rows[i].Name {
+				if b.AccessesSec > 0 {
+					r.Rows[i].VsBaseline = r.Rows[i].AccessesSec / b.AccessesSec
+				}
+				break
+			}
+		}
+	}
+}
+
+// ReadEngineBench loads a previously written BENCH_engine.json record.
+func ReadEngineBench(path string) (*EngineBenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r EngineBenchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &r, nil
 }
 
 // engineBenchStream is the default synthetic workload for engine

@@ -20,16 +20,31 @@ import (
 type ServerBenchRow struct {
 	Sessions    int     `json:"sessions"`
 	Accesses    uint64  `json:"accesses"` // total across all sessions
+	Batches     uint64  `json:"batches"`  // total frames streamed
 	Seconds     float64 `json:"seconds"`
 	AccessesSec float64 `json:"accesses_per_sec"`
+	// AllocsPerBatch is whole-process heap allocations per streamed
+	// batch (client encode + framing + server decode + engine execute),
+	// the allocation cost of moving one batch through the ingest
+	// pipeline.
+	AllocsPerBatch float64 `json:"allocs_per_batch"`
 	// ScalingVs1 is this row's throughput over the single-session row.
 	ScalingVs1 float64 `json:"scaling_vs_1,omitempty"`
+	// VsBaseline is this row's throughput over the same row of the
+	// attached baseline record (0 when no baseline row matches).
+	VsBaseline float64 `json:"vs_baseline,omitempty"`
+	// AllocReduction is the fractional drop in AllocsPerBatch against
+	// the baseline row (0.8 = 80% fewer allocations per batch).
+	AllocReduction float64 `json:"alloc_reduction,omitempty"`
 }
 
 // ServerBenchResult is the machine-readable service performance record
 // emitted as BENCH_server.json: end-to-end streaming throughput
 // (encode, loopback TCP, decode, engine) at increasing session
-// concurrency, with the worker pool as the scaling limit.
+// concurrency, with the worker pool as the scaling limit. Baseline,
+// when present, carries the same rows measured at the commit before a
+// performance change — the committed benchmark trajectory future PRs
+// are held to.
 type ServerBenchResult struct {
 	Timestamp  string           `json:"timestamp"`
 	GoMaxProcs int              `json:"gomaxprocs"`
@@ -37,7 +52,49 @@ type ServerBenchResult struct {
 	Accesses   uint64           `json:"accesses"`
 	Period     uint64           `json:"period"`
 	Rows       []ServerBenchRow `json:"rows"`
+	Baseline   []ServerBenchRow `json:"baseline,omitempty"`
 }
+
+// AttachBaseline records base's rows as the pre-change baseline and
+// fills each current row's VsBaseline and AllocReduction from the
+// baseline row with the same session count.
+func (r *ServerBenchResult) AttachBaseline(base *ServerBenchResult) {
+	if base == nil {
+		return
+	}
+	r.Baseline = base.Rows
+	for i := range r.Rows {
+		for _, b := range base.Rows {
+			if b.Sessions != r.Rows[i].Sessions {
+				continue
+			}
+			if b.AccessesSec > 0 {
+				r.Rows[i].VsBaseline = r.Rows[i].AccessesSec / b.AccessesSec
+			}
+			if b.AllocsPerBatch > 0 {
+				r.Rows[i].AllocReduction = 1 - r.Rows[i].AllocsPerBatch/b.AllocsPerBatch
+			}
+			break
+		}
+	}
+}
+
+// ReadServerBench loads a previously written BENCH_server.json record.
+func ReadServerBench(path string) (*ServerBenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ServerBenchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// streamBatchSize is the per-frame batch size StreamSessions uses, and
+// the divisor behind AllocsPerBatch.
+const streamBatchSize = 8192
 
 // StreamSessions drives `sessions` concurrent remote profiling runs of
 // perSession accesses each against addr and returns the first error.
@@ -55,7 +112,7 @@ func StreamSessions(addr string, sessions int, perSession []mem.Access, cfg core
 				return
 			}
 			defer c.Close()
-			_, errs[i] = c.Profile(trace.FromSlice(perSession), cfg, wire.ProfileOptions{BatchSize: 8192})
+			_, errs[i] = c.Profile(trace.FromSlice(perSession), cfg, wire.ProfileOptions{BatchSize: streamBatchSize})
 		}(i)
 	}
 	wg.Wait()
@@ -101,14 +158,28 @@ func (o Options) RunServerBench() (*ServerBenchResult, error) {
 			return nil, err
 		}
 		total := n * uint64(sessions)
+		batchesPerSession := (n + streamBatchSize - 1) / streamBatchSize
+		batches := batchesPerSession * uint64(sessions)
+
+		// Mallocs delta around the run gives allocations per batch for
+		// the whole pipeline; a GC first keeps dead warm-up garbage from
+		// inflating the count.
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		if err := StreamSessions(s.Addr(), sessions, accs, cfg); err != nil {
 			return nil, fmt.Errorf("server bench (%d sessions): %w", sessions, err)
 		}
 		el := time.Since(start).Seconds()
-		row := ServerBenchRow{Sessions: sessions, Accesses: total, Seconds: el}
+		runtime.ReadMemStats(&m1)
+
+		row := ServerBenchRow{Sessions: sessions, Accesses: total, Batches: batches, Seconds: el}
 		if el > 0 {
 			row.AccessesSec = float64(total) / el
+		}
+		if batches > 0 {
+			row.AllocsPerBatch = float64(m1.Mallocs-m0.Mallocs) / float64(batches)
 		}
 		if len(res.Rows) > 0 && res.Rows[0].AccessesSec > 0 {
 			row.ScalingVs1 = row.AccessesSec / res.Rows[0].AccessesSec
@@ -121,8 +192,8 @@ func (o Options) RunServerBench() (*ServerBenchResult, error) {
 		if r.ScalingVs1 != 0 {
 			note = fmt.Sprintf("(%.2fx vs 1 session)", r.ScalingVs1)
 		}
-		fmt.Fprintf(o.out(), "server-%02d-sessions         %12d accesses  %8.3fs  %14.0f accesses/sec  %s\n",
-			r.Sessions, r.Accesses, r.Seconds, r.AccessesSec, note)
+		fmt.Fprintf(o.out(), "server-%02d-sessions         %12d accesses  %8.3fs  %14.0f accesses/sec  %8.1f allocs/batch  %s\n",
+			r.Sessions, r.Accesses, r.Seconds, r.AccessesSec, r.AllocsPerBatch, note)
 	}
 	return res, nil
 }

@@ -1,0 +1,104 @@
+package server_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/testutil"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// TestE2EQueueDepthOneBitIdentical pins down the pipelined ingest path
+// under maximum recycling pressure: with a one-slot session queue every
+// decode buffer cycles through the free ring between reader and runner,
+// and any aliasing bug (a buffer recycled while the engine still reads
+// it, a payload released before decode finished) corrupts the stream.
+// The result must still be bit-identical to a local profile.
+func TestE2EQueueDepthOneBitIdentical(t *testing.T) {
+	var rec bytes.Buffer
+	if _, err := trace.Record(&rec, trace.ZipfAccess(17, 0, 8192, 1.0, 300000)); err != nil {
+		t.Fatal(err)
+	}
+	replay := func() trace.Reader {
+		r, err := trace.NewReader(bytes.NewReader(rec.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cfg := testConfig(300)
+	accs, err := trace.Collect(replay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localProfile(t, accs, cfg)
+
+	s := start(t, server.Config{QueueDepth: 1})
+	// Awkward batch size: frame boundaries land mid-trace everywhere,
+	// and decoded batches keep changing length so recycled buffers are
+	// constantly re-sliced.
+	got, err := dial(t, s).Profile(replay(), cfg, wire.ProfileOptions{BatchSize: 977})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameWireProfile(t, "queue-depth-1 remote vs local", got, want)
+}
+
+// TestStreamingAllocBudget bounds the steady-state allocation cost of
+// streaming one batch end to end in-process: client encode + frame
+// write, server frame read + decode + engine execution. Mallocs is
+// process-wide, so the budget covers BOTH sides of the wire; before the
+// pooled ingest pipeline this path cost ~8200 allocations per batch
+// (one per access decode plus per-frame buffers), so the budget of 64
+// is a >100x reduction with slack for scheduler and socket noise.
+func TestStreamingAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	const (
+		batchSize   = trace.DefaultBatchSize
+		warmBatches = 32
+		batches     = 256
+		budget      = 64.0
+	)
+	accs, err := trace.Collect(trace.ZipfAccess(5, 0, 1<<14, 1.0, batchSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periodic checkpoints disabled: they are off the per-batch budget
+	// by design (measured separately by the sync path tests).
+	s := start(t, server.Config{CheckpointEvery: -1})
+	c := dial(t, s)
+	if _, err := c.Open(testConfig(4096)); err != nil {
+		t.Fatal(err)
+	}
+	stream := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := c.SendBatch(accs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Sync acks only after every sent batch is executed and its
+		// checkpoint durable, so the measured window contains the whole
+		// server-side pipeline, not just the socket writes.
+		if _, err := c.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream(warmBatches) // warm pools, free ring, engine state
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	stream(batches)
+	runtime.ReadMemStats(&after)
+
+	perBatch := float64(after.Mallocs-before.Mallocs) / batches
+	t.Logf("end-to-end streaming: %.1f allocs/batch (%d accesses/batch)", perBatch, batchSize)
+	if perBatch > budget {
+		t.Errorf("streaming allocates %.1f times per batch, budget %v", perBatch, budget)
+	}
+}

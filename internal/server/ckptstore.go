@@ -39,6 +39,7 @@ type ckptEntry struct {
 type ckptStore struct {
 	mu      sync.Mutex
 	mem     map[string]*ckptEntry
+	free    [][]byte // retired live-checkpoint blobs awaiting reuse
 	clock   uint64
 	maxMem  int
 	dir     string // "" = memory only
@@ -46,6 +47,10 @@ type ckptStore struct {
 	saves   int // save counter driving the periodic disk sweep
 	logf    func(format string, args ...any)
 }
+
+// maxFreeBlobs bounds the retired-blob recycling list; beyond it,
+// replaced checkpoint blobs go to the garbage collector.
+const maxFreeBlobs = 32
 
 var ckptDiskMagic = [4]byte{'R', 'D', 'X', 'S'}
 
@@ -123,6 +128,9 @@ func (cs *ckptStore) put(token string, ent *ckptEntry) {
 	defer cs.mu.Unlock()
 	cs.clock++
 	ent.stamp = cs.clock
+	if old, ok := cs.mem[token]; ok {
+		cs.recycleLocked(old)
+	}
 	cs.mem[token] = ent
 	for len(cs.mem) > cs.maxMem {
 		victim, oldest := "", uint64(0)
@@ -131,25 +139,60 @@ func (cs *ckptStore) put(token string, ent *ckptEntry) {
 				victim, oldest = t, e.stamp
 			}
 		}
+		cs.recycleLocked(cs.mem[victim])
 		delete(cs.mem, victim)
 	}
 }
 
+// recycleLocked retires a replaced or evicted entry's live blob into
+// the reuse list. Safe because live blobs have exactly one owner — the
+// store — once saved: load hands out copies, never the stored slice.
+// Final-result payloads are excluded; they alias the session's retained
+// finalResult.
+func (cs *ckptStore) recycleLocked(ent *ckptEntry) {
+	if ent == nil || ent.blob == nil || len(cs.free) >= maxFreeBlobs {
+		return
+	}
+	cs.free = append(cs.free, ent.blob)
+	ent.blob = nil
+}
+
+// blobBuf returns a retired blob buffer for the next CheckpointInto, or
+// nil when none is free (the encoder then allocates).
+func (cs *ckptStore) blobBuf() []byte {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if n := len(cs.free); n > 0 {
+		buf := cs.free[n-1]
+		cs.free[n-1] = nil
+		cs.free = cs.free[:n-1]
+		return buf
+	}
+	return nil
+}
+
 // load fetches token's entry, from memory or (after an eviction or a
-// daemon restart) from the spill directory.
+// daemon restart) from the spill directory. The returned entry's blob
+// is the caller's copy: the stored one may be recycled by a later save
+// while the caller is still decoding.
 func (cs *ckptStore) load(token string) (*ckptEntry, error) {
 	if !validToken(token) {
 		return nil, fmt.Errorf("malformed resume token")
 	}
 	cs.mu.Lock()
 	ent, ok := cs.mem[token]
+	var cp *ckptEntry
 	if ok {
 		cs.clock++
 		ent.stamp = cs.clock
+		cp = &ckptEntry{seq: ent.seq, final: ent.final, stamp: ent.stamp}
+		if ent.blob != nil {
+			cp.blob = append([]byte(nil), ent.blob...)
+		}
 	}
 	cs.mu.Unlock()
 	if ok {
-		return ent, nil
+		return cp, nil
 	}
 	if cs.dir == "" {
 		return nil, fmt.Errorf("unknown or expired resume token")
@@ -158,7 +201,13 @@ func (cs *ckptStore) load(token string) (*ckptEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	cs.put(token, ent)
+	// Re-home in memory with its own copy of the blob, so the entry the
+	// caller decodes stays untouched by future saves.
+	home := &ckptEntry{seq: ent.seq, final: ent.final}
+	if ent.blob != nil {
+		home.blob = append([]byte(nil), ent.blob...)
+	}
+	cs.put(token, home)
 	return ent, nil
 }
 

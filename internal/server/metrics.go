@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // metrics holds the server-wide counters behind /metrics. Everything is
@@ -19,6 +21,7 @@ type metrics struct {
 	snapshotsTotal atomic.Uint64
 	bytesIn        atomic.Uint64
 	peakQueueDepth atomic.Int64
+	pipelineDepth  atomic.Int64 // batches decoded but not yet executed
 
 	// Fault-tolerance counters.
 	resumedSessions  atomic.Uint64 // sessions reopened from a checkpoint
@@ -88,8 +91,15 @@ type Metrics struct {
 	SnapshotsTotal uint64           `json:"snapshots_total"`
 	BytesIn        uint64           `json:"bytes_in"`
 	PeakQueueDepth int64            `json:"peak_queue_depth"`
-	Draining       bool             `json:"draining"`
-	Sessions       []SessionMetrics `json:"sessions"`
+	// PipelineQueueDepth is the live count of batches sitting between
+	// the decode and execute stages across all sessions.
+	PipelineQueueDepth int64 `json:"pipeline_queue_depth"`
+	// PoolHitRate is the fraction of frame-payload buffer requests
+	// served by the wire package's pool since process start (1.0 = no
+	// ingest allocation; 0 until the first frame arrives).
+	PoolHitRate float64          `json:"pool_hit_rate"`
+	Draining    bool             `json:"draining"`
+	Sessions    []SessionMetrics `json:"sessions"`
 
 	ResumedSessions  uint64 `json:"resumed_sessions"`
 	ResumeFailures   uint64 `json:"resume_failures"`
@@ -119,6 +129,10 @@ func (s *Server) MetricsSnapshot() Metrics {
 	m.rateMu.Lock()
 	rate := m.accessRate
 	m.rateMu.Unlock()
+	var hitRate float64
+	if gets, misses := wire.PoolStats(); gets > 0 {
+		hitRate = 1 - float64(misses)/float64(gets)
+	}
 	return Metrics{
 		SessionsActive: m.sessionsActive.Load(),
 		SessionsTotal:  m.sessionsTotal.Load(),
@@ -127,10 +141,12 @@ func (s *Server) MetricsSnapshot() Metrics {
 		BatchesTotal:   m.batchesTotal.Load(),
 		DroppedBatches: m.droppedBatches.Load(),
 		SnapshotsTotal: m.snapshotsTotal.Load(),
-		BytesIn:        m.bytesIn.Load(),
-		PeakQueueDepth: m.peakQueueDepth.Load(),
-		Draining:       draining,
-		Sessions:       sessions,
+		BytesIn:            m.bytesIn.Load(),
+		PeakQueueDepth:     m.peakQueueDepth.Load(),
+		PipelineQueueDepth: m.pipelineDepth.Load(),
+		PoolHitRate:        hitRate,
+		Draining:           draining,
+		Sessions:           sessions,
 
 		ResumedSessions:  m.resumedSessions.Load(),
 		ResumeFailures:   m.resumeFailures.Load(),

@@ -50,6 +50,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync"
 	"time"
@@ -116,6 +117,10 @@ type Config struct {
 	// RetryAfterHint is the backoff suggested to shed clients (default
 	// 500ms).
 	RetryAfterHint time.Duration
+	// EnablePprof registers net/http/pprof handlers under /debug/pprof/
+	// on the admin listener (no effect without AdminAddr), so the ingest
+	// path can be profiled in place.
+	EnablePprof bool
 }
 
 func (c *Config) fill() {
@@ -180,6 +185,28 @@ type Server struct {
 	metrics  metrics
 	ckpts    *ckptStore
 	stopRate chan struct{}
+
+	// ckptq feeds the serial checkpoint writer goroutine: blob capture
+	// stays on each session's runner (it needs the machine quiescent),
+	// but the LRU insert and the durable disk write happen here, off the
+	// execute critical path. The writer preserves FIFO order, so when a
+	// waited request returns, every earlier save is durable too — the
+	// ack-after-durable promise survives the move.
+	ckptq    chan ckptReq
+	ckptDone chan struct{}
+}
+
+// ckptReq is one state-retention request for the checkpoint writer:
+// either a live checkpoint blob or a finished session's final result.
+// A non-nil done makes the requester wait for durability (session open,
+// client sync, disconnect, finish); nil marks a periodic fire-and-forget
+// save whose failure is only logged.
+type ckptReq struct {
+	token string
+	seq   uint64
+	blob  []byte // live checkpoint; nil for final results
+	final []byte // final-result JSON; nil for live checkpoints
+	done  chan error
 }
 
 // New creates a server and binds its listeners; connections are not
@@ -203,6 +230,8 @@ func New(cfg Config) (*Server, error) {
 		tokens:   make(map[string]struct{}),
 		ckpts:    newCkptStore(cfg.CheckpointDir, cfg.MaxCheckpoints, cfg.MaxDiskCheckpoints, cfg.Logf),
 		stopRate: make(chan struct{}),
+		ckptq:    make(chan ckptReq, 16),
+		ckptDone: make(chan struct{}),
 	}
 	if cfg.AdminAddr != "" {
 		adminLn, err := net.Listen("tcp", cfg.AdminAddr)
@@ -214,9 +243,44 @@ func New(cfg Config) (*Server, error) {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/healthz", s.handleHealthz)
 		mux.HandleFunc("/metrics", s.handleMetrics)
+		if cfg.EnablePprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		s.admin = &http.Server{Handler: mux}
 	}
+	// The writer starts with the server object, not with Start: sessions
+	// cannot exist before Start, but finishClose waits on ckptDone and
+	// must not hang for a server that was never started.
+	go s.ckptWriter()
 	return s, nil
+}
+
+// ckptWriter serially applies checkpoint requests: LRU insert plus, when
+// a spill directory is configured, the durable disk write. Serial FIFO
+// processing is the ordering guarantee the rest of the server leans on.
+func (s *Server) ckptWriter() {
+	defer close(s.ckptDone)
+	for req := range s.ckptq {
+		var err error
+		if req.final != nil {
+			err = s.ckpts.saveFinal(req.token, req.seq, req.final)
+		} else {
+			err = s.ckpts.save(req.token, req.seq, req.blob)
+		}
+		if err == nil {
+			s.metrics.checkpointsTotal.Add(1)
+			s.metrics.checkpointBytes.Add(uint64(len(req.blob) + len(req.final)))
+		}
+		if req.done != nil {
+			req.done <- err
+		} else if err != nil {
+			s.cfg.Logf("rdxd: periodic checkpoint (batch %d): %v", req.seq, err)
+		}
+	}
 }
 
 // Addr is the profiling listener's bound address (useful with ":0").
@@ -320,6 +384,11 @@ func (s *Server) finishClose() {
 	if already {
 		return
 	}
+	// Every enqueuer runs inside s.wg, which has drained by now, so the
+	// queue can close; waiting for the writer makes Shutdown/Close imply
+	// "all requested checkpoints are durable".
+	close(s.ckptq)
+	<-s.ckptDone
 	close(s.stopRate)
 	if s.admin != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
@@ -390,17 +459,20 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 
 	s.armRead(conn)
-	t, payload, err := wire.ReadFrame(br)
+	t, payload, err := wire.ReadFramePooled(br)
 	if err != nil {
 		return // client vanished before speaking
 	}
 	s.metrics.bytesIn.Add(uint64(5 + len(payload)))
 	if t != wire.FrameOpen {
+		wire.PutPayload(payload)
 		reject(fmt.Errorf("expected open frame, got %s", t))
 		return
 	}
 	var req wire.OpenRequest
-	if err := unmarshalStrict(payload, &req); err != nil {
+	err = unmarshalStrict(payload, &req)
+	wire.PutPayload(payload)
+	if err != nil {
 		reject(fmt.Errorf("bad open request: %v", err))
 		return
 	}
@@ -461,12 +533,24 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 
 	queue := make(chan item, s.cfg.QueueDepth)
+	// freeBufs recirculates decoded-batch buffers from the runner back
+	// to the reader: sized one past the queue so a buffer is always
+	// returnable without blocking, and the session's steady state runs
+	// on a fixed set of buffers — zero allocations per batch.
+	freeBufs := make(chan []mem.Access, s.cfg.QueueDepth+2)
 	runnerDone := make(chan struct{})
-	go s.readLoop(sess, br, queue, runnerDone)
-	s.runLoop(sess, bw, queue)
+	go s.readLoop(sess, br, queue, freeBufs, runnerDone)
+	s.runLoop(sess, bw, queue, freeBufs)
 	// Unblock a reader stuck enqueueing if the runner bailed early
 	// (reply write failed); otherwise it would hold its batch forever.
 	close(runnerDone)
+	// Drain whatever the reader had queued before it noticed, keeping
+	// the pipeline-depth gauge honest.
+	for it := range queue {
+		if it.kind == itemBatch {
+			s.metrics.pipelineDepth.Add(-1)
+		}
+	}
 	// The reader and runner are both done with the profiler now; a
 	// disconnect checkpoint lets the client resume mid-stream. (It runs
 	// before the deferred unregister frees the token, so a racing
@@ -515,18 +599,40 @@ func (s *Server) resumeSession(conn net.Conn, req wire.OpenRequest) (*session, e
 	return sess, nil
 }
 
-// checkpointSession captures the session's full profiler state into
-// the checkpoint store. It must only run while the session's machine
-// is quiescent (from the runner goroutine, or after both loops exit).
+// checkpointSession captures the session's full profiler state and
+// waits for the checkpoint writer to make it durable. Capture must only
+// run while the session's machine is quiescent (from the runner
+// goroutine, or after both loops exit); the writer does the rest.
 func (s *Server) checkpointSession(sess *session) error {
-	blob := sess.prof.Checkpoint()
-	if err := s.ckpts.save(sess.token, sess.lastApplied, blob); err != nil {
-		return err
-	}
+	done := make(chan error, 1)
+	s.enqueueCheckpoint(sess, done)
+	return <-done
+}
+
+// checkpointSessionAsync is checkpointSession without the durability
+// wait: capture happens now (state at this batch boundary), but the
+// store insert and disk write overlap with subsequent execution. Used
+// for periodic checkpoints, where a lost save only widens the replay
+// window of a later resume.
+func (s *Server) checkpointSessionAsync(sess *session) {
+	s.enqueueCheckpoint(sess, nil)
+}
+
+func (s *Server) enqueueCheckpoint(sess *session, done chan error) {
+	// Capture into a recycled blob when the store has one; the blob's
+	// ownership passes to the writer and then the store.
+	blob := sess.prof.CheckpointInto(s.ckpts.blobBuf())
 	sess.sinceCkpt = 0
-	s.metrics.checkpointsTotal.Add(1)
-	s.metrics.checkpointBytes.Add(uint64(len(blob)))
-	return nil
+	s.ckptq <- ckptReq{token: sess.token, seq: sess.lastApplied, blob: blob, done: done}
+}
+
+// saveFinalDurable routes a finished session's result through the
+// checkpoint writer (keeping it ordered after the session's earlier
+// saves) and waits for durability.
+func (s *Server) saveFinalDurable(token string, seq uint64, result []byte) error {
+	done := make(chan error, 1)
+	s.ckptq <- ckptReq{token: token, seq: seq, final: result, done: done}
+	return <-done
 }
 
 // armRead arms the per-frame read deadline on conn.
@@ -558,7 +664,12 @@ type item struct {
 // connection dies (sess.dead is set so the runner discards leftovers).
 // Each frame gets a fresh read deadline; a client silent for longer
 // loses the connection and resumes from the disconnect checkpoint.
-func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, runnerDone <-chan struct{}) {
+//
+// The loop is allocation-free at steady state: frame payloads come from
+// the wire package's pooled buffers and go back the moment decoding
+// ends, and decode targets are recirculated batch buffers the runner
+// returns through freeBufs after execution.
+func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, freeBufs <-chan []mem.Access, runnerDone <-chan struct{}) {
 	defer close(queue)
 	enqueue := func(it item) bool {
 		select {
@@ -570,7 +681,7 @@ func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, ru
 	}
 	for {
 		s.armRead(sess.conn)
-		t, payload, err := wire.ReadFrame(br)
+		t, payload, err := wire.ReadFramePooled(br)
 		if err != nil {
 			// io.EOF without Finish, a mid-frame cut, or a frame that
 			// failed its checksum: the stream is unusable. Nothing to
@@ -581,7 +692,13 @@ func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, ru
 		s.metrics.bytesIn.Add(uint64(5 + len(payload)))
 		switch t {
 		case wire.FrameBatch:
-			batch, seq, err := wire.DecodeBatch(nil, payload)
+			var scratch []mem.Access
+			select {
+			case scratch = <-freeBufs:
+			default: // ring empty: the decode below allocates a fresh one
+			}
+			batch, seq, err := wire.DecodeBatchInto(scratch[:0], payload)
+			wire.PutPayload(payload)
 			if err != nil {
 				enqueue(item{kind: itemFail, err: fmt.Errorf("corrupt batch: %w", err)})
 				return
@@ -591,21 +708,27 @@ func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, ru
 				return
 			}
 			s.metrics.noteQueueDepth(len(queue) + 1)
+			s.metrics.pipelineDepth.Add(1)
 			if !enqueue(item{kind: itemBatch, batch: batch, seq: seq}) {
+				s.metrics.pipelineDepth.Add(-1)
 				return
 			}
 		case wire.FrameSync:
+			wire.PutPayload(payload)
 			if !enqueue(item{kind: itemSync}) {
 				return
 			}
 		case wire.FrameSnapshot:
+			wire.PutPayload(payload)
 			if !enqueue(item{kind: itemSnapshot}) {
 				return
 			}
 		case wire.FrameFinish:
+			wire.PutPayload(payload)
 			enqueue(item{kind: itemFinish})
 			return
 		default:
+			wire.PutPayload(payload)
 			enqueue(item{kind: itemFail, err: fmt.Errorf("unexpected %s frame", t)})
 			return
 		}
@@ -622,7 +745,7 @@ const errorLinger = 2 * time.Second
 // answers snapshots and syncs, and emits the final result. It is the
 // only writer on bw after the open handshake, and every reply write
 // runs under the configured write deadline.
-func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item) {
+func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item, freeBufs chan<- []mem.Access) {
 	fail := func(err error) {
 		s.armWrite(sess.conn)
 		wire.WriteFrame(bw, wire.FrameError, []byte(err.Error()))
@@ -630,11 +753,24 @@ func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item) {
 		sess.conn.SetReadDeadline(time.Now().Add(errorLinger))
 		io.Copy(io.Discard, sess.conn)
 	}
+	// recycle returns a consumed batch buffer to the reader's ring. The
+	// ring is sized so this never blocks; a buffer it can't take (the
+	// reader allocated extras while the ring was empty) goes to the GC.
+	recycle := func(buf []mem.Access) {
+		select {
+		case freeBufs <- buf:
+		default:
+		}
+	}
 	for it := range queue {
+		if it.kind == itemBatch {
+			s.metrics.pipelineDepth.Add(-1)
+		}
 		if sess.dead.Load() && it.kind == itemBatch {
 			// The client is gone; executing its leftovers would be
 			// work nobody reads.
 			s.metrics.droppedBatches.Add(1)
+			recycle(it.batch)
 			continue
 		}
 		switch it.kind {
@@ -643,6 +779,7 @@ func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item) {
 				// Already executed before a reconnect; the resume
 				// replay is discarded, so re-delivery is idempotent.
 				s.metrics.replayedBatches.Add(1)
+				recycle(it.batch)
 				continue
 			}
 			if it.seq != sess.lastApplied+1 {
@@ -659,16 +796,18 @@ func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item) {
 				time.Sleep(s.cfg.StepDelay)
 			}
 			<-s.sem
+			n := len(it.batch)
+			recycle(it.batch)
 			sess.lastApplied = it.seq
 			sess.sinceCkpt++
 			sess.accesses.Store(sess.machine.Account().Accesses)
 			sess.stateBytes.Store(sess.prof.StateBytes())
 			s.metrics.batchesTotal.Add(1)
-			s.metrics.accessesTotal.Add(uint64(len(it.batch)))
+			s.metrics.accessesTotal.Add(uint64(n))
 			if s.cfg.CheckpointEvery > 0 && sess.sinceCkpt >= s.cfg.CheckpointEvery {
-				if err := s.checkpointSession(sess); err != nil {
-					s.cfg.Logf("rdxd: session %d: periodic checkpoint: %v", sess.id, err)
-				}
+				// Capture now, persist concurrently: execution of the
+				// next batch overlaps the checkpoint's disk write.
+				s.checkpointSessionAsync(sess)
 			}
 		case itemSync:
 			// A sync acknowledgment promises durability: the checkpoint
@@ -719,7 +858,7 @@ func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item) {
 			sess.finalResult = payload
 			// Retain the result before replying: if the reply is lost,
 			// a resume fetches it again instead of losing the run.
-			if err := s.ckpts.saveFinal(sess.token, sess.lastApplied, payload); err != nil {
+			if err := s.saveFinalDurable(sess.token, sess.lastApplied, payload); err != nil {
 				s.cfg.Logf("rdxd: session %d: retaining final result: %v", sess.id, err)
 			}
 			s.armWrite(sess.conn)

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package testutil carries small helpers shared by tests, chiefly the
+// race-detector flag: allocation-budget assertions are meaningless under
+// -race (the instrumentation inhibits inlining and stack allocation),
+// so those tests skip themselves when RaceEnabled is true.
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race.
+const RaceEnabled = false

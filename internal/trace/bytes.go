@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+)
+
+// BytesReader decodes a complete in-memory RDT3 stream (see file.go for
+// the format) directly from a byte slice. It is the allocation-free
+// counterpart of NewReader for payloads that are already materialized —
+// wire frame payloads, recorded traces slurped into memory: no bufio
+// layer, no per-byte interface dispatch, and Reset reuses the reader
+// across payloads. Error behaviour mirrors the streaming reader:
+// truncation anywhere (wrapping ErrTruncated) and corruption (bad
+// record, count mismatch, trailing data) are reported descriptively,
+// never as a silent short read.
+type BytesReader struct {
+	data   []byte
+	pos    int
+	prev   mem.Addr
+	prevPC mem.Addr
+	n      uint64 // records decoded so far
+	done   bool   // trailer consumed and verified
+}
+
+// NewBytesReader validates the header of data and returns a reader that
+// replays it. For a reusable reader, declare a BytesReader and Reset it.
+func NewBytesReader(data []byte) (*BytesReader, error) {
+	b := new(BytesReader)
+	if err := b.Reset(data); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Reset points the reader at a new in-memory stream, validating its
+// header and clearing all decode state. The zero BytesReader may be
+// Reset directly.
+func (b *BytesReader) Reset(data []byte) error {
+	if len(data) < len(fileMagic) {
+		return fmt.Errorf("trace: reading header: %w", ErrTruncated)
+	}
+	if [4]byte(data[:4]) != fileMagic {
+		return fmt.Errorf("trace: bad magic %q, want %q", data[:4], fileMagic)
+	}
+	b.data = data
+	b.pos = len(fileMagic)
+	b.prev, b.prevPC = 0, 0
+	b.n = 0
+	b.done = false
+	return nil
+}
+
+// Read fills dst with up to len(dst) decoded accesses, mirroring
+// fileReader.Read's contract exactly.
+func (b *BytesReader) Read(dst []mem.Access) (int, error) {
+	if b.done {
+		return 0, io.EOF
+	}
+	for i := range dst {
+		if b.pos >= len(b.data) {
+			return i, fmt.Errorf("trace: stream ends after %d records with no end-of-stream trailer: %w", b.n, ErrTruncated)
+		}
+		hdr := b.data[b.pos]
+		b.pos++
+		if hdr == endSentinel {
+			if err := b.finishTrailer(); err != nil {
+				return i, err
+			}
+			return i, io.EOF
+		}
+		delta, err := b.varint()
+		if err != nil {
+			return i, err
+		}
+		pcDelta, err := b.varint()
+		if err != nil {
+			return i, err
+		}
+		addr := mem.Addr(int64(b.prev) + delta)
+		pc := mem.Addr(int64(b.prevPC) + pcDelta)
+		b.prev = addr
+		b.prevPC = pc
+		dst[i] = mem.Access{
+			Addr: addr,
+			PC:   pc,
+			Size: hdr >> 1 & 0x0f,
+			Kind: mem.Kind(hdr & 1),
+		}
+		b.n++
+	}
+	return len(dst), nil
+}
+
+// varint decodes one signed varint of the record at index b.n,
+// classifying failures the way fileReader.recordErr does: running out
+// of bytes is truncation, an overlong encoding is corruption.
+func (b *BytesReader) varint() (int64, error) {
+	v, n := binary.Varint(b.data[b.pos:])
+	if n > 0 {
+		b.pos += n
+		return v, nil
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("trace: record %d cut off mid-stream: %w", b.n, ErrTruncated)
+	}
+	return 0, fmt.Errorf("trace: corrupt record %d: varint overflows 64 bits", b.n)
+}
+
+// finishTrailer consumes and verifies the end-of-stream trailer after
+// its sentinel byte has been read.
+func (b *BytesReader) finishTrailer() error {
+	want, n := binary.Uvarint(b.data[b.pos:])
+	if n == 0 {
+		return fmt.Errorf("trace: stream ends inside the end-of-stream trailer: %w", ErrTruncated)
+	}
+	if n < 0 {
+		return fmt.Errorf("trace: reading end-of-stream trailer: uvarint overflows 64 bits")
+	}
+	b.pos += n
+	if want != b.n {
+		return fmt.Errorf("trace: corrupt stream: trailer records %d accesses, decoded %d", want, b.n)
+	}
+	if rest := len(b.data) - b.pos; rest > 0 {
+		return fmt.Errorf("trace: %d trailing bytes after end-of-stream trailer", rest)
+	}
+	b.done = true
+	return nil
+}

@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/testutil"
+)
+
+// TestBytesReaderMatchesFileReader: the in-memory decoder and the
+// streaming decoder are two implementations of the same format; on any
+// valid stream they must produce identical accesses.
+func TestBytesReaderMatchesFileReader(t *testing.T) {
+	full := recordedBytes(t)
+	want, err := Collect(mustFileReader(t, full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBytesReader(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BytesReader decoded\n%v\nfileReader decoded\n%v", got, want)
+	}
+}
+
+func mustFileReader(t *testing.T, data []byte) Reader {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestBytesReaderTruncationEveryBoundary mirrors the fileReader
+// regression test: truncation at EVERY byte offset must fail wrapping
+// ErrTruncated, and at every offset the two decoders must agree on
+// whether the stream is acceptable.
+func TestBytesReaderTruncationEveryBoundary(t *testing.T) {
+	full := recordedBytes(t)
+	for cut := 0; cut < len(full); cut++ {
+		br, err := NewBytesReader(full[:cut])
+		if err != nil {
+			if cut >= 4 {
+				t.Errorf("cut=%d: Reset failed on intact header: %v", cut, err)
+			} else if !errors.Is(err, ErrTruncated) {
+				t.Errorf("cut=%d: header error not ErrTruncated: %v", cut, err)
+			}
+			continue
+		}
+		if cut < 4 {
+			t.Errorf("cut=%d: accepted a partial header", cut)
+			continue
+		}
+		_, err = Collect(br)
+		if err == nil {
+			t.Errorf("cut=%d: truncated stream decoded without error", cut)
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut=%d: error does not wrap ErrTruncated: %v", cut, err)
+		}
+	}
+}
+
+// TestBytesReaderRejectsTrailerDamage: trailer count mismatches and
+// trailing bytes are corruption, not EOF.
+func TestBytesReaderRejectsTrailerDamage(t *testing.T) {
+	full := recordedBytes(t)
+	wrongCount := append([]byte(nil), full...)
+	wrongCount[len(wrongCount)-1]++ // trailer count uvarint is 1 byte here
+	br, err := NewBytesReader(wrongCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(br); err == nil {
+		t.Error("trailer count mismatch decoded without error")
+	}
+
+	trailing := append(append([]byte(nil), full...), 0x00)
+	br, err = NewBytesReader(trailing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(br); err == nil {
+		t.Error("trailing bytes after trailer decoded without error")
+	}
+}
+
+// TestBytesReaderReset: one reader replays two different streams
+// back-to-back with full state isolation.
+func TestBytesReaderReset(t *testing.T) {
+	mk := func(accs []mem.Access) []byte {
+		var buf bytes.Buffer
+		if _, err := Record(&buf, FromSlice(accs)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := []mem.Access{{Addr: 1 << 40, PC: 0x400000, Size: 8, Kind: mem.Store}}
+	b := []mem.Access{{Addr: 8, PC: 0x500000, Size: 4, Kind: mem.Load}}
+
+	var br BytesReader
+	for i, tc := range [][]mem.Access{a, b, a} {
+		if err := br.Reset(mk(tc)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Collect(&br)
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, tc) {
+			t.Fatalf("replay %d: got %v, want %v (delta state leaked across Reset?)", i, got, tc)
+		}
+	}
+}
+
+// TestWriterResetRoundTrip: one Writer encodes two streams via Reset,
+// and both must decode to their own accesses (no state bleed).
+func TestWriterResetRoundTrip(t *testing.T) {
+	streams := [][]mem.Access{
+		{{Addr: 0x1000, PC: 0x400000, Size: 8, Kind: mem.Load}, {Addr: 1 << 50, PC: 0x400004, Size: 2, Kind: mem.Store}},
+		{{Addr: 64, PC: 0x700000, Size: 1, Kind: mem.Store}},
+	}
+	var w Writer
+	for i, accs := range streams {
+		var buf bytes.Buffer
+		if err := w.Reset(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range accs {
+			if err := w.Write(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Collect(mustFileReader(t, buf.Bytes()))
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, accs) {
+			t.Fatalf("stream %d round-tripped to %v, want %v", i, got, accs)
+		}
+	}
+}
+
+// TestBatchBufRoundTrip: the pool hands out full-capacity buffers and
+// ignores foreign slices on release.
+func TestBatchBufRoundTrip(t *testing.T) {
+	buf := BatchBuf()
+	if len(buf) != DefaultBatchSize || cap(buf) != DefaultBatchSize {
+		t.Fatalf("BatchBuf: len=%d cap=%d, want %d", len(buf), cap(buf), DefaultBatchSize)
+	}
+	ReleaseBatchBuf(buf)
+	ReleaseBatchBuf(nil)                        // no-op
+	ReleaseBatchBuf(make([]mem.Access, 7))      // foreign capacity: ignored
+	ReleaseBatchBuf(buf[:100])                  // short view of a pooled buffer still returns it
+	ReleaseBatchBuf(make([]mem.Access, 0, 100)) // foreign capacity: ignored
+}
+
+// TestBytesReaderDecodeAllocFree: steady-state in-memory decoding — the
+// server's per-batch hot path — performs zero heap allocations.
+func TestBytesReaderDecodeAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	full := recordedBytes(t)
+	var br BytesReader
+	dst := make([]mem.Access, 16)
+	decode := func() {
+		if err := br.Reset(full); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, err := br.Read(dst)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	decode() // warm up
+	if allocs := testing.AllocsPerRun(200, decode); allocs > 0 {
+		t.Errorf("BytesReader decode allocates %.2f times per stream, want 0", allocs)
+	}
+}
+
+// TestWriterEncodeAllocFree: a Reset-reused Writer encodes a stream with
+// zero steady-state heap allocations (the varint scratch must not
+// escape).
+func TestWriterEncodeAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	accs := []mem.Access{
+		{Addr: 0x1000, PC: 0x400000, Size: 8, Kind: mem.Load},
+		{Addr: 1 << 44, PC: 0x400010, Size: 4, Kind: mem.Store},
+	}
+	var w Writer
+	encode := func() {
+		if err := w.Reset(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 256; i++ {
+			for _, a := range accs {
+				if err := w.Write(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	encode() // warm up
+	if allocs := testing.AllocsPerRun(100, encode); allocs > 0 {
+		t.Errorf("Writer encode allocates %.2f times per stream, want 0", allocs)
+	}
+}

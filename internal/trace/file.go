@@ -40,22 +40,48 @@ const endSentinel = 0xFF
 var ErrTruncated = fmt.Errorf("trace: truncated stream")
 
 // Writer encodes accesses to an underlying io.Writer. Call Close (or
-// Flush, for a partial stream) before closing the destination.
+// Flush, for a partial stream) before closing the destination. A Writer
+// is reusable: Reset rebinds it to a new destination and starts a fresh
+// stream without allocating, which is what keeps a per-batch encode
+// path (one RDT3 stream per wire frame) allocation-free.
 type Writer struct {
 	w      *bufio.Writer
 	prev   mem.Addr
 	prevPC mem.Addr
 	n      uint64
 	closed bool
+	// scratch is the varint encode buffer. As a field it stays off the
+	// per-Write allocation path; as a local it escapes through the
+	// bufio.Writer interface call and costs one heap allocation per
+	// access (measured: the dominant allocation of the whole wire
+	// encode path).
+	scratch [binary.MaxVarintLen64]byte
 }
 
 // NewWriter writes the file header and returns a trace Writer.
 func NewWriter(w io.Writer) (*Writer, error) {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(fileMagic[:]); err != nil {
-		return nil, fmt.Errorf("trace: writing header: %w", err)
+	tw := new(Writer)
+	if err := tw.Reset(w); err != nil {
+		return nil, err
 	}
-	return &Writer{w: bw}, nil
+	return tw, nil
+}
+
+// Reset rebinds the Writer to dst and starts a new stream: the file
+// header is written immediately and the delta/count state cleared. The
+// zero Writer may be Reset directly. The buffered writer is reused, so
+// steady-state re-encoding allocates nothing.
+func (w *Writer) Reset(dst io.Writer) error {
+	if w.w == nil {
+		w.w = bufio.NewWriter(dst)
+	} else {
+		w.w.Reset(dst)
+	}
+	w.prev, w.prevPC, w.n, w.closed = 0, 0, 0, false
+	if _, err := w.w.Write(fileMagic[:]); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	return nil
 }
 
 // Write appends one access to the trace.
@@ -67,13 +93,12 @@ func (w *Writer) Write(a mem.Access) error {
 	if err := w.w.WriteByte(hdr); err != nil {
 		return err
 	}
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(buf[:], int64(a.Addr)-int64(w.prev))
-	if _, err := w.w.Write(buf[:n]); err != nil {
+	n := binary.PutVarint(w.scratch[:], int64(a.Addr)-int64(w.prev))
+	if _, err := w.w.Write(w.scratch[:n]); err != nil {
 		return err
 	}
-	n = binary.PutVarint(buf[:], int64(a.PC)-int64(w.prevPC))
-	if _, err := w.w.Write(buf[:n]); err != nil {
+	n = binary.PutVarint(w.scratch[:], int64(a.PC)-int64(w.prevPC))
+	if _, err := w.w.Write(w.scratch[:n]); err != nil {
 		return err
 	}
 	w.prev = a.Addr
@@ -100,9 +125,8 @@ func (w *Writer) Close() error {
 	if err := w.w.WriteByte(endSentinel); err != nil {
 		return err
 	}
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], w.n)
-	if _, err := w.w.Write(buf[:n]); err != nil {
+	n := binary.PutUvarint(w.scratch[:], w.n)
+	if _, err := w.w.Write(w.scratch[:n]); err != nil {
 		return err
 	}
 	return w.w.Flush()

@@ -11,6 +11,7 @@ package trace
 import (
 	"errors"
 	"io"
+	"sync"
 
 	"repro/internal/mem"
 )
@@ -34,10 +35,37 @@ const batchSize = DefaultBatchSize
 // ErrShortTrace is returned by readers that require a minimum length.
 var ErrShortTrace = errors.New("trace: stream shorter than required")
 
+// batchBufPool recycles DefaultBatchSize access buffers across the
+// drain helpers and the execution engine. The pool stores fixed-size
+// array pointers, so neither Get nor Put boxes a slice header — both
+// directions are allocation-free.
+var batchBufPool = sync.Pool{
+	New: func() any { return new([DefaultBatchSize]mem.Access) },
+}
+
+// BatchBuf borrows a DefaultBatchSize access buffer from the package
+// pool; return it with ReleaseBatchBuf once nothing references its
+// contents. Profilers and drain helpers read streams through these so
+// repeated runs reuse one 64 KiB buffer instead of allocating each.
+func BatchBuf() []mem.Access {
+	return batchBufPool.Get().(*[DefaultBatchSize]mem.Access)[:]
+}
+
+// ReleaseBatchBuf returns a BatchBuf buffer to the pool. Buffers of any
+// other capacity are ignored, so callers may pass their own slices
+// through code that releases unconditionally.
+func ReleaseBatchBuf(buf []mem.Access) {
+	if cap(buf) != DefaultBatchSize {
+		return
+	}
+	batchBufPool.Put((*[DefaultBatchSize]mem.Access)(buf[:DefaultBatchSize]))
+}
+
 // ForEach drains r, invoking fn for every access in order. It stops early
 // and returns nil if fn returns false, and propagates any non-EOF error.
 func ForEach(r Reader, fn func(mem.Access) bool) error {
-	buf := make([]mem.Access, batchSize)
+	buf := BatchBuf()
+	defer ReleaseBatchBuf(buf)
 	for {
 		n, err := r.Read(buf)
 		for i := 0; i < n; i++ {

@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+// benchAccesses is a representative batch for the allocation tests:
+// mixed strides and kinds, large enough that a per-access leak shows up
+// as hundreds of allocations, not a rounding error.
+func benchAccesses(n int) []mem.Access {
+	accs := make([]mem.Access, n)
+	for i := range accs {
+		accs[i] = mem.Access{
+			Addr: mem.Addr(i) * 64 << (i % 3),
+			PC:   0x400000 + mem.Addr(i%13)*4,
+			Size: 8,
+			Kind: mem.Kind(i % 2),
+		}
+	}
+	return accs
+}
+
+func encodedBatchFrame(t testing.TB, seq uint64, accs []mem.Access) []byte {
+	t.Helper()
+	var payload bytes.Buffer
+	if err := EncodeBatch(&payload, seq, accs); err != nil {
+		t.Fatal(err)
+	}
+	var frame bytes.Buffer
+	if err := WriteFrame(&frame, FrameBatch, payload.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	return frame.Bytes()
+}
+
+// TestPooledFrameMatchesPlain: both frame-read paths must hand back the
+// same type and payload bytes.
+func TestPooledFrameMatchesPlain(t *testing.T) {
+	frame := encodedBatchFrame(t, 7, benchAccesses(100))
+
+	tPlain, plain, err := ReadFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tPooled, pooled, err := ReadFramePooled(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer PutPayload(pooled)
+	if tPlain != tPooled || !bytes.Equal(plain, pooled) {
+		t.Fatalf("pooled read (%s, %d bytes) differs from plain read (%s, %d bytes)",
+			tPooled, len(pooled), tPlain, len(plain))
+	}
+}
+
+// TestPayloadPoolClasses: buffers come back with exactly the requested
+// length, releases of foreign or oversized buffers are safe no-ops, and
+// the gets counter advances.
+func TestPayloadPoolClasses(t *testing.T) {
+	gets0, _ := PoolStats()
+	for _, n := range []int{0, 1, 4 << 10, 4<<10 + 1, 64 << 10, 1 << 20, 4 << 20, 4<<20 + 1} {
+		buf := GetPayload(n)
+		if len(buf) != n {
+			t.Fatalf("GetPayload(%d) returned %d bytes", n, len(buf))
+		}
+		PutPayload(buf)
+	}
+	PutPayload(nil)               // no-op
+	PutPayload(make([]byte, 99)) // foreign capacity: ignored
+	gets1, _ := PoolStats()
+	if gets1 <= gets0 {
+		t.Errorf("PoolStats gets did not advance: %d -> %d", gets0, gets1)
+	}
+}
+
+// TestDecodeBatchIntoReusesScratch: decoding into a warm scratch buffer
+// returns the same backing array and identical accesses to DecodeBatch.
+func TestDecodeBatchIntoReusesScratch(t *testing.T) {
+	accs := benchAccesses(500)
+	var payload bytes.Buffer
+	if err := EncodeBatch(&payload, 3, accs); err != nil {
+		t.Fatal(err)
+	}
+	want, seq, err := DecodeBatch(nil, payload.Bytes())
+	if err != nil || seq != 3 {
+		t.Fatalf("DecodeBatch: seq=%d err=%v", seq, err)
+	}
+	scratch := make([]mem.Access, 0, len(accs)+10)
+	got, seq, err := DecodeBatchInto(scratch, payload.Bytes())
+	if err != nil || seq != 3 {
+		t.Fatalf("DecodeBatchInto: seq=%d err=%v", seq, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("DecodeBatchInto result differs from DecodeBatch")
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Error("DecodeBatchInto abandoned a large-enough scratch buffer")
+	}
+}
+
+// TestReadFramePooledAllocFree: the steady-state frame read — pooled
+// payload, single ReadFull — performs zero heap allocations.
+func TestReadFramePooledAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	frame := encodedBatchFrame(t, 1, benchAccesses(trace.DefaultBatchSize))
+	r := bytes.NewReader(frame)
+	read := func() {
+		r.Seek(0, io.SeekStart)
+		_, payload, err := ReadFramePooled(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		PutPayload(payload)
+	}
+	read() // warm the pool
+	if allocs := testing.AllocsPerRun(500, read); allocs > 0 {
+		t.Errorf("ReadFramePooled allocates %.2f times per frame, want 0", allocs)
+	}
+}
+
+// TestDecodeBatchIntoAllocFree: decoding a full batch into a warm
+// scratch buffer performs zero heap allocations.
+func TestDecodeBatchIntoAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	accs := benchAccesses(trace.DefaultBatchSize)
+	var payload bytes.Buffer
+	if err := EncodeBatch(&payload, 1, accs); err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]mem.Access, 0, trace.DefaultBatchSize)
+	decode := func() {
+		out, _, err := DecodeBatchInto(scratch[:0], payload.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(accs) {
+			t.Fatalf("decoded %d accesses, want %d", len(out), len(accs))
+		}
+	}
+	decode()
+	if allocs := testing.AllocsPerRun(200, decode); allocs > 0 {
+		t.Errorf("DecodeBatchInto allocates %.2f times per batch, want 0", allocs)
+	}
+}
+
+// TestClientEncodeBatchAllocFree: the client's batch encode path — the
+// reusable sliceWriter plus Reset-reused trace.Writer — performs zero
+// steady-state heap allocations.
+func TestClientEncodeBatchAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	accs := benchAccesses(trace.DefaultBatchSize)
+	c := &Client{}
+	encode := func() {
+		if _, err := c.encodeBatch(42, accs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	encode() // warm: grows the scratch buffer once
+	if allocs := testing.AllocsPerRun(200, encode); allocs > 0 {
+		t.Errorf("encodeBatch allocates %.2f times per batch, want 0", allocs)
+	}
+}
+
+// TestReadFrameDirectReadNoChunkCopies: the non-pooled path must still
+// read payloads of every size correctly after the chunked-append loop
+// was replaced with direct reads into the destination.
+func TestReadFrameDirectReadNoChunkCopies(t *testing.T) {
+	for _, size := range []int{0, 1, readChunk - 1, readChunk, readChunk + 1, 3 * readChunk} {
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		var frame bytes.Buffer
+		if err := WriteFrame(&frame, FrameBatch, payload); err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := ReadFrame(iotest(frame.Bytes()))
+		if err != nil {
+			t.Fatalf("size=%d: %v", size, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("size=%d: payload corrupted by direct read", size)
+		}
+	}
+}
+
+// iotest wraps a byte slice in a reader that returns at most 64KiB per
+// Read, so multi-chunk payloads genuinely take several reads.
+func iotest(data []byte) io.Reader {
+	return &slowReader{data: data}
+}
+
+type slowReader struct{ data []byte }
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	if len(s.data) == 0 {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if n > 64<<10 {
+		n = 64 << 10
+	}
+	if n > len(s.data) {
+		n = len(s.data)
+	}
+	copy(p, s.data[:n])
+	s.data = s.data[n:]
+	return n, nil
+}

@@ -28,10 +28,15 @@ const DefaultDialTimeout = 10 * time.Second
 // for concurrent use; a caller wanting parallel sessions opens one
 // Client per session (the daemon multiplexes).
 type Client struct {
-	conn    net.Conn
-	br      *bufio.Reader
-	bw      *bufio.Writer
-	scratch []byte
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	// sw accumulates the encoded batch payload and enc is the reusable
+	// RDT3 encoder writing into it; together they make a steady-state
+	// SendBatch allocation-free (the payload buffer and the encoder's
+	// internals are reused across batches).
+	sw      sliceWriter
+	enc     trace.Writer
 	opened  bool
 	done    bool
 	reply   OpenReply
@@ -199,7 +204,13 @@ func (c *Client) Profile(r trace.Reader, cfg core.Config, opts ProfileOptions) (
 	if _, err := c.Open(cfg); err != nil {
 		return nil, err
 	}
-	buf := make([]mem.Access, batch)
+	var buf []mem.Access
+	if batch <= trace.DefaultBatchSize {
+		buf = trace.BatchBuf()[:batch]
+		defer trace.ReleaseBatchBuf(buf)
+	} else {
+		buf = make([]mem.Access, batch)
+	}
 	sent := 0
 	for {
 		n, rerr := r.Read(buf)
@@ -239,26 +250,25 @@ func (c *Client) ensureStreaming() error {
 }
 
 // encodeBatch encodes the batch payload (sequence number + RDT3) into
-// the client's scratch buffer.
+// the client's reusable scratch buffer. The returned slice is valid
+// until the next encodeBatch call.
 func (c *Client) encodeBatch(seq uint64, accs []mem.Access) ([]byte, error) {
-	w := newSliceWriter(c.scratch[:0])
+	c.sw.buf = c.sw.buf[:0]
 	var hdr [8]byte
 	binary.BigEndian.PutUint64(hdr[:], seq)
-	w.Write(hdr[:])
-	tw, err := trace.NewWriter(w)
-	if err != nil {
+	c.sw.Write(hdr[:])
+	if err := c.enc.Reset(&c.sw); err != nil {
 		return nil, err
 	}
 	for _, a := range accs {
-		if err := tw.Write(a); err != nil {
+		if err := c.enc.Write(a); err != nil {
 			return nil, err
 		}
 	}
-	if err := tw.Close(); err != nil {
+	if err := c.enc.Close(); err != nil {
 		return nil, err
 	}
-	c.scratch = w.buf
-	return w.buf, nil
+	return c.sw.buf, nil
 }
 
 // send writes one frame and flushes, so server-side backpressure
@@ -315,8 +325,6 @@ func (c *Client) readResult(want FrameType) (*Result, error) {
 // (bytes.Buffer without the read-side state, so the slice can be handed
 // to WriteFrame directly).
 type sliceWriter struct{ buf []byte }
-
-func newSliceWriter(buf []byte) *sliceWriter { return &sliceWriter{buf: buf} }
 
 func (s *sliceWriter) Write(p []byte) (int, error) {
 	s.buf = append(s.buf, p...)

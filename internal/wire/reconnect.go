@@ -104,6 +104,7 @@ type ReconnectingClient struct {
 	lastAcked uint64
 	nextSeq   uint64 // session-level sequence of the next new batch
 	pending   []pendingBatch
+	free      [][]mem.Access // acked replay buffers awaiting reuse
 	sinceSync int
 	connected bool // a connection has succeeded at least once
 	finished  bool
@@ -146,7 +147,17 @@ func (r *ReconnectingClient) SendBatch(ctx context.Context, accs []mem.Access) e
 	if len(accs) == 0 {
 		return nil
 	}
-	cp := append([]mem.Access(nil), accs...)
+	// Copy into a recycled replay buffer when one is free (acked batches
+	// return theirs via noteAcked), so a steady-state stream stops
+	// allocating once the replay window's worth of buffers exists.
+	var cp []mem.Access
+	if n := len(r.free); n > 0 {
+		cp = append(r.free[n-1][:0], accs...)
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+	} else {
+		cp = append([]mem.Access(nil), accs...)
+	}
 	seq := r.nextSeq
 	r.nextSeq++
 	r.pending = append(r.pending, pendingBatch{seq: seq, accs: cp})
@@ -243,7 +254,13 @@ func (r *ReconnectingClient) Profile(ctx context.Context, tr trace.Reader, opts 
 	if batch <= 0 {
 		batch = trace.DefaultBatchSize
 	}
-	buf := make([]mem.Access, batch)
+	var buf []mem.Access
+	if batch <= trace.DefaultBatchSize {
+		buf = trace.BatchBuf()[:batch]
+		defer trace.ReleaseBatchBuf(buf)
+	} else {
+		buf = make([]mem.Access, batch)
+	}
 	sent := 0
 	for {
 		n, rerr := tr.Read(buf)
@@ -387,6 +404,8 @@ func (r *ReconnectingClient) noteAcked(seq uint64) {
 	for _, p := range r.pending {
 		if p.seq > seq {
 			keep = append(keep, p)
+		} else if cap(p.accs) > 0 {
+			r.free = append(r.free, p.accs)
 		}
 	}
 	r.pending = keep

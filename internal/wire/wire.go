@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -137,9 +138,22 @@ const frameOverhead = 5
 
 // frameCRC computes the checksum carried in a frame: IEEE crc32 over
 // the type byte followed by the payload.
+// typeCRCs[b] is the crc32 state after hashing the single byte b — the
+// type-byte prefix of every frame checksum. Precomputing it keeps
+// frameCRC to one crc32.Update call over the payload: a per-call byte
+// buffer would escape through Update and cost a heap allocation per
+// frame.
+var typeCRCs = func() (t [256]uint32) {
+	var b [1]byte
+	for i := range t {
+		b[0] = byte(i)
+		t[i] = crc32.Update(0, crc32.IEEETable, b[:])
+	}
+	return
+}()
+
 func frameCRC(t FrameType, payload []byte) uint32 {
-	crc := crc32.Update(0, crc32.IEEETable, []byte{byte(t)})
-	return crc32.Update(crc, crc32.IEEETable, payload)
+	return crc32.Update(typeCRCs[byte(t)], crc32.IEEETable, payload)
 }
 
 // WriteFrame writes one frame to w.
@@ -147,11 +161,13 @@ func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 	if len(payload) > MaxFramePayload {
 		return fmt.Errorf("wire: %s frame payload %d bytes exceeds limit %d", t, len(payload), MaxFramePayload)
 	}
-	var hdr [9]byte
+	hp := hdrPool.Get().(*[9]byte)
+	defer hdrPool.Put(hp)
+	hdr := hp[:]
 	binary.BigEndian.PutUint32(hdr[:4], uint32(frameOverhead+len(payload)))
 	hdr[4] = byte(t)
 	binary.BigEndian.PutUint32(hdr[5:], frameCRC(t, payload))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
 	if len(payload) > 0 {
@@ -162,17 +178,40 @@ func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 	return nil
 }
 
-// readChunk bounds a single allocation while reading a length-prefixed
-// body: memory grows with the bytes actually received, so a lying
-// length prefix cannot allocate MaxFramePayload up front.
+// readChunk bounds the up-front allocation while reading a
+// length-prefixed body beyond the pooled size classes: memory grows
+// with the bytes actually received, so a lying length prefix cannot
+// allocate MaxFramePayload up front.
 const readChunk = 1 << 20
 
 // ReadFrame reads one frame from r, verifying its checksum. io.EOF is
 // returned untouched when the stream ends cleanly between frames; a
 // stream cut inside a frame, an impossible length, or a checksum
-// mismatch (in-flight corruption) returns a descriptive error.
+// mismatch (in-flight corruption) returns a descriptive error. The
+// payload is freshly allocated; hot paths that can release it promptly
+// should prefer ReadFramePooled.
 func ReadFrame(r io.Reader) (FrameType, []byte, error) {
-	var hdr [9]byte
+	return readFrame(r, false)
+}
+
+// ReadFramePooled is ReadFrame drawing the payload from the frame
+// buffer pool: steady-state frame reads allocate nothing. The caller
+// must release the payload with PutPayload once nothing references its
+// contents — typically immediately after decoding it.
+func ReadFramePooled(r io.Reader) (FrameType, []byte, error) {
+	return readFrame(r, true)
+}
+
+// hdrPool recycles frame-prefix scratch buffers. A local [9]byte array
+// in readFrame escapes through the io.ReadFull interface call and costs
+// one heap allocation per frame; pool Get/Put on an array pointer is
+// allocation-free in both directions.
+var hdrPool = sync.Pool{New: func() any { return new([9]byte) }}
+
+func readFrame(r io.Reader, pooled bool) (FrameType, []byte, error) {
+	hp := hdrPool.Get().(*[9]byte)
+	defer hdrPool.Put(hp)
+	hdr := hp[:]
 	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
 		if err == io.EOF {
 			return 0, nil, io.EOF
@@ -195,20 +234,48 @@ func ReadFrame(r io.Reader) (FrameType, []byte, error) {
 	t := FrameType(hdr[4])
 	want := binary.BigEndian.Uint32(hdr[5:])
 
-	payload := make([]byte, 0, min(int(n)-frameOverhead, readChunk))
-	for remaining := int(n) - frameOverhead; remaining > 0; {
-		take := min(remaining, readChunk)
-		off := len(payload)
-		payload = append(payload, make([]byte, take)...)
-		if _, err := io.ReadFull(r, payload[off:]); err != nil {
+	size := int(n) - frameOverhead
+	var payload []byte
+	if pooled && size <= maxPooledPayload {
+		// Pool classes top out at maxPooledPayload, so the up-front
+		// allocation a lying prefix can force stays bounded even here.
+		payload = GetPayload(size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			PutPayload(payload)
 			return 0, nil, fmt.Errorf("wire: stream cut inside %d-byte frame: %w", n, err)
 		}
-		remaining -= take
+	} else {
+		// Single destination slice, grown chunk by chunk as the bytes
+		// actually arrive and filled in place — no per-chunk scratch
+		// buffer.
+		payload = make([]byte, 0, min(size, readChunk))
+		for len(payload) < size {
+			take := min(size-len(payload), readChunk)
+			off := len(payload)
+			payload = grow(payload, take)[:off+take]
+			if _, err := io.ReadFull(r, payload[off:]); err != nil {
+				return 0, nil, fmt.Errorf("wire: stream cut inside %d-byte frame: %w", n, err)
+			}
+		}
 	}
 	if got := frameCRC(t, payload); got != want {
+		if pooled {
+			PutPayload(payload)
+		}
 		return 0, nil, fmt.Errorf("wire: %s frame checksum mismatch (corrupt stream)", t)
 	}
 	return t, payload, nil
+}
+
+// grow extends buf's capacity by at least n bytes without zero-filling
+// scratch chunks (append-style amortized doubling).
+func grow(buf []byte, n int) []byte {
+	if cap(buf)-len(buf) >= n {
+		return buf
+	}
+	next := make([]byte, len(buf), max(2*cap(buf), len(buf)+n))
+	copy(next, buf)
+	return next
 }
 
 // OpenRequest is the payload of FrameOpen: the profiler configuration
@@ -342,20 +409,56 @@ func EncodeBatch(buf *bytes.Buffer, seq uint64, accs []mem.Access) error {
 // DecodeBatch decodes a batch payload, appending the accesses into dst
 // (which may be nil) and returning the extended slice plus the batch's
 // sequence number. Truncated or corrupt payloads fail with descriptive
-// errors.
+// errors. It is DecodeBatchInto without a reuse contract; callers that
+// decode batch after batch should hold one scratch slice and pass it
+// back in each time.
 func DecodeBatch(dst []mem.Access, payload []byte) ([]mem.Access, uint64, error) {
+	return DecodeBatchInto(dst, payload)
+}
+
+// DecodeBatchInto decodes a batch payload, appending the accesses to
+// dst and returning the extended slice plus the batch's sequence
+// number. Decoding works directly over the payload bytes into dst's
+// spare capacity: once dst has grown to the session's steady batch
+// size (pass the returned slice re-sliced to [:0] for the next batch),
+// a decode performs zero allocations.
+func DecodeBatchInto(dst []mem.Access, payload []byte) ([]mem.Access, uint64, error) {
 	if len(payload) < batchSeqBytes {
 		return dst, 0, fmt.Errorf("wire: batch payload of %d bytes lacks its sequence number", len(payload))
 	}
 	seq := binary.BigEndian.Uint64(payload)
-	r, err := trace.NewReader(bytes.NewReader(payload[batchSeqBytes:]))
-	if err != nil {
+	var br trace.BytesReader
+	if err := br.Reset(payload[batchSeqBytes:]); err != nil {
 		return dst, seq, err
 	}
-	buf := make([]mem.Access, trace.DefaultBatchSize)
 	for {
-		n, err := r.Read(buf)
-		dst = append(dst, buf[:n]...)
+		if len(dst) == cap(dst) {
+			// Full. Decode one record into a stack slot first: a stream
+			// that is in fact finished must not trigger a growth — the
+			// exact-fit case is the steady state of a reused scratch.
+			var one [1]mem.Access
+			n, err := br.Read(one[:])
+			if n == 0 {
+				if err == io.EOF {
+					return dst, seq, nil
+				}
+				if err != nil {
+					return dst, seq, err
+				}
+			}
+			grown := make([]mem.Access, len(dst), max(2*cap(dst), len(dst)+trace.DefaultBatchSize))
+			copy(grown, dst)
+			dst = append(grown, one[:n]...)
+			if err == io.EOF {
+				return dst, seq, nil
+			}
+			if err != nil {
+				return dst, seq, err
+			}
+			continue
+		}
+		n, err := br.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
 		if err == io.EOF {
 			return dst, seq, nil
 		}

@@ -20,4 +20,11 @@ echo "==> fuzz smoke (wire decoders, 10s each)"
 go test -run='^$' -fuzz='^FuzzReadFrame$' -fuzztime=10s ./internal/wire
 go test -run='^$' -fuzz='^FuzzDecodeBatch$' -fuzztime=10s ./internal/wire
 
+# Bench smoke: one iteration of the committed benchmark set, without
+# -race (allocation counts and throughput are meaningless under it).
+# Catches a benchmark that no longer compiles or crashes outright; the
+# numbers themselves are tracked by BENCH_*.json via rdexper -bench-out.
+echo "==> bench smoke (1 iteration)"
+go test -run='^$' -bench='^(BenchmarkMachineRun|BenchmarkServerThroughput)$' -benchtime=1x .
+
 echo "check: OK"
