@@ -389,3 +389,43 @@ func BenchmarkServerThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPoolThroughput measures the sharded multi-backend dispatcher
+// aggregating fleets of 1, 2 and 4 fixed-capacity backends (one worker
+// + per-batch service delay each — on a single benchmark host, scaling
+// must come from the dispatcher aggregating backend capacity, not from
+// host CPUs; see experiments.StartThrottledBackends). Aggregate
+// accesses/sec should approach linear in the fleet size.
+func BenchmarkPoolThroughput(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.SamplePeriod = 8 << 10
+	const streams = 32
+	for _, backends := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("backends=%d", backends), func(b *testing.B) {
+			srvs, bks, err := experiments.StartThrottledBackends(backends)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				for _, s := range srvs {
+					s.Close()
+				}
+			}()
+			perStream := (uint64(b.N) + streams) / streams
+			accs, err := trace.Collect(trace.ZipfAccess(1, 0, 1<<14, 1.0, perStream))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rs := make([]trace.Reader, streams)
+			for i := range rs {
+				rs[i] = trace.FromSlice(accs)
+			}
+			b.ResetTimer()
+			m, err := experiments.PoolStreamOnce(bks, rs, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(m.Accesses)/b.Elapsed().Seconds(), "accesses/sec")
+		})
+	}
+}

@@ -71,6 +71,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		srv.Pool, err = opts.RunPoolBench()
+		if err != nil {
+			fatal(err)
+		}
 		if *benchBaseline != "" {
 			base, err := experiments.ReadServerBench(filepath.Join(*benchBaseline, "BENCH_server.json"))
 			if err != nil {

@@ -7,6 +7,7 @@
 //	rdx -workload mcf -n 4194304 -period 8192 [-exact] [-granularity word]
 //	rdx -trace run.rdt -remote 127.0.0.1:9127 [-snapshot-every 50]
 //	rdx -workload mcf -remote 127.0.0.1:9127 -retry 12 -dial-timeout 5s
+//	rdx -workload mcf -remote a:9127=a:9128,b:9127=b:9128
 //	rdx -workload mcf -json > profile.json
 //	rdx -list
 //
@@ -15,7 +16,11 @@
 // the daemon runs the identical engine. With -retry N the session is
 // fault-tolerant: it reconnects with exponential backoff (up to N
 // consecutive attempts), resumes from the daemon's checkpoint, and
-// replays unacknowledged batches.
+// replays unacknowledged batches. -remote also accepts a comma-separated
+// backend list, each "addr" or "addr=adminaddr"; with several backends
+// the session is dispatched through the health-checked pool (admin
+// addresses enable /healthz probing and load-aware routing), and a
+// backend dying mid-run fails over to the others.
 package main
 
 import (
@@ -43,7 +48,7 @@ func main() {
 		pairs     = flag.Int("pairs", 0, "print the top N use→reuse code pairs by weight")
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable result (histograms, counters, overheads, accuracy) to stdout instead of the report")
 		jsonFile  = flag.String("json-file", "", "additionally write the machine-readable result to this file")
-		remote      = flag.String("remote", "", "profile via the rdxd daemon at this address instead of in-process")
+		remote      = flag.String("remote", "", "profile via rdxd instead of in-process: one daemon address, or a comma-separated pool (each \"addr\" or \"addr=adminaddr\")")
 		snapEvery   = flag.Int("snapshot-every", 0, "with -remote: print a live snapshot line every N batches")
 		retry       = flag.Int("retry", 0, "with -remote: survive connection faults with up to N consecutive reconnect attempts (0 = no retry)")
 		dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "with -remote: timeout for each connection attempt")
@@ -93,33 +98,34 @@ func main() {
 		source = *tracePath
 	}
 
-	var res *rdx.RemoteResult
+	sessOpts := []rdx.Option{rdx.WithConfig(cfg)}
+	ctx := context.Background()
 	if *remote != "" {
-		opts := rdx.RemoteOptions{SnapshotEvery: *snapEvery}
+		sessOpts = append(sessOpts, rdx.WithRemote(*remote))
+		ropts := rdx.RemoteOptions{SnapshotEvery: *snapEvery}
 		if *snapEvery > 0 && !*jsonOut {
-			opts.OnSnapshot = func(s *rdx.RemoteResult) {
+			ropts.OnSnapshot = func(s *rdx.RemoteResult) {
 				fmt.Printf("snapshot: %d accesses, %d samples, %d reuse pairs, overhead %.2f%%\n",
 					s.Accesses, s.Samples, s.ReusePairs, 100*s.TimeOverhead)
 			}
 		}
+		sessOpts = append(sessOpts, rdx.WithRemoteOptions(ropts))
 		if *retry > 0 {
-			policy := rdx.RetryPolicy{MaxAttempts: *retry, DialTimeout: *dialTimeout, Seed: *seed}
-			res, err = rdx.ProfileRemoteResilient(context.Background(), *remote, openStream(), cfg, opts, policy)
-		} else {
-			ctx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
-			res, err = rdx.ProfileRemote(ctx, *remote, openStream(), cfg, opts)
-			cancel()
+			sessOpts = append(sessOpts,
+				rdx.WithRetry(rdx.RetryPolicy{MaxAttempts: *retry, DialTimeout: *dialTimeout, Seed: *seed}))
+		} else if backends, perr := rdx.ParseBackends(*remote); perr == nil && len(backends) == 1 {
+			// Single backend, no retry: bound connection establishment
+			// the way the pre-pool CLI did.
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *dialTimeout)
+			defer cancel()
 		}
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		local, err := rdx.Profile(openStream(), cfg)
-		if err != nil {
-			fatal(err)
-		}
-		res = rdx.ResultToRemote(local)
 	}
+	local, err := rdx.New(sessOpts...).Profile(ctx, openStream())
+	if err != nil {
+		fatal(err)
+	}
+	res := rdx.ResultToRemote(local)
 
 	out := jsonResult{Source: source, Remote: *remote, RemoteResult: res}
 	if *runExact {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -45,6 +46,21 @@ func (m *MultiResult) TimeOverhead() float64 {
 	return worst
 }
 
+// threadSeedStride de-correlates per-thread sampling phases: thread i
+// profiles under Seed + i*threadSeedStride.
+const threadSeedStride = 0x9e3779b9
+
+// ThreadConfig returns the configuration thread i of a multithreaded
+// profile runs under: the shared config with the seed offset by the
+// thread index. It is the single source of per-thread seed derivation —
+// a remote dispatcher (internal/pool) that profiles stream i on another
+// machine with ThreadConfig(cfg, i) gets a result bit-identical to the
+// local thread's.
+func ThreadConfig(cfg Config, i int) Config {
+	cfg.Seed += uint64(i) * threadSeedStride
+	return cfg
+}
+
 // ProfileThreads profiles each stream as one thread of a multithreaded
 // program: every thread gets its own simulated core, PMU and debug
 // registers (per-thread contexts, as perf_event and ptrace provide), and
@@ -52,7 +68,7 @@ func (m *MultiResult) TimeOverhead() float64 {
 // Threads run concurrently on a worker pool of runtime.GOMAXPROCS(0)
 // simulated cores; use ProfileThreadsPool to pick the pool size.
 func ProfileThreads(streams []trace.Reader, cfg Config, costs cpumodel.Costs) (*MultiResult, error) {
-	return ProfileThreadsPool(streams, cfg, costs, 0)
+	return ProfileThreadsPoolContext(context.Background(), streams, cfg, costs, 0)
 }
 
 // ProfileThreadsPool is ProfileThreads with an explicit worker-pool
@@ -62,6 +78,21 @@ func ProfileThreads(streams []trace.Reader, cfg Config, costs cpumodel.Costs) (*
 // runtime.GOMAXPROCS(0). Results are deterministic and independent of
 // the pool size: each thread's seed derives from its index alone.
 func ProfileThreadsPool(streams []trace.Reader, cfg Config, costs cpumodel.Costs, workers int) (*MultiResult, error) {
+	return ProfileThreadsPoolContext(context.Background(), streams, cfg, costs, workers)
+}
+
+// ProfileThreadsContext is ProfileThreads honoring ctx: cancellation is
+// observed by every worker at batch granularity, so even a profile of
+// unbounded streams returns promptly with ctx.Err().
+func ProfileThreadsContext(ctx context.Context, streams []trace.Reader, cfg Config, costs cpumodel.Costs) (*MultiResult, error) {
+	return ProfileThreadsPoolContext(ctx, streams, cfg, costs, 0)
+}
+
+// ProfileThreadsPoolContext is the full-control form every other
+// ProfileThreads variant delegates to: explicit context and worker-pool
+// size. Results are unaffected by either — cancellation only decides
+// whether a result is produced at all.
+func ProfileThreadsPoolContext(ctx context.Context, streams []trace.Reader, cfg Config, costs cpumodel.Costs, workers int) (*MultiResult, error) {
 	if len(streams) == 0 {
 		return nil, fmt.Errorf("core: ProfileThreads with no streams")
 	}
@@ -83,23 +114,32 @@ func ProfileThreadsPool(streams []trace.Reader, cfg Config, costs cpumodel.Costs
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				tcfg := cfg
-				// De-correlate per-thread sampling phases.
-				tcfg.Seed = cfg.Seed + uint64(i)*0x9e3779b9
-				p, err := NewProfiler(tcfg)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				p, err := NewProfiler(ThreadConfig(cfg, i))
 				if err != nil {
 					errs[i] = err
 					continue
 				}
-				results[i], errs[i] = p.Run(streams[i], costs)
+				results[i], errs[i] = p.RunContext(ctx, streams[i], costs)
 			}
 		}()
 	}
+feed:
 	for i := range streams {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: thread %d: %w", i, err)
@@ -108,43 +148,81 @@ func ProfileThreadsPool(streams []trace.Reader, cfg Config, costs cpumodel.Costs
 	return MergeResults(results), nil
 }
 
-// MergeResults combines per-thread results into one program-level view.
-func MergeResults(results []*Result) *MultiResult {
-	m := &MultiResult{
-		Threads:       results,
-		ReuseDistance: histogram.New(),
-		ReuseTime:     histogram.New(),
+// Merger combines per-thread (or per-shard) results into one
+// program-level MultiResult, one result at a time. Locality histograms
+// compose exactly across disjoint streams (Yuan et al.'s measurement
+// theory), so the merge is an exact weighted sum, not an approximation;
+// the merged output depends only on the sequence of Add calls, never on
+// where each Result was produced — a result shipped back from a remote
+// backend (wire.ToCore) merges bit-identically to one computed in
+// process. Add in stream order: histogram and attribution weights are
+// floating-point sums, so order is part of the bit-identity contract.
+type Merger struct {
+	m     *MultiResult
+	pairs map[PairKey]*pairAgg
+	done  bool
+}
+
+// pairAgg accumulates one code pair's statistics across threads.
+type pairAgg struct {
+	count            uint64
+	weight, distSum  float64
+	minTime, maxTime uint64
+}
+
+// NewMerger returns an empty merger.
+func NewMerger() *Merger {
+	return &Merger{
+		m: &MultiResult{
+			ReuseDistance: histogram.New(),
+			ReuseTime:     histogram.New(),
+		},
+		pairs: make(map[PairKey]*pairAgg),
 	}
-	type agg struct {
-		count            uint64
-		weight, distSum  float64
-		minTime, maxTime uint64
+}
+
+// Add folds one thread's result into the merge. The result is retained
+// in MultiResult.Threads in Add order.
+func (g *Merger) Add(r *Result) {
+	if g.done {
+		panic("core: Merger.Add after Result")
 	}
-	pairs := make(map[PairKey]*agg)
-	for _, r := range results {
-		m.ReuseDistance.AddHistogram(r.ReuseDistance)
-		m.ReuseTime.AddHistogram(r.ReuseTime)
-		m.Accesses += r.Accesses
-		m.Samples += r.Samples
-		m.ReusePairs += r.ReusePairs
-		for _, p := range r.Attribution {
-			a := pairs[p.Pair]
-			if a == nil {
-				a = &agg{minTime: p.MinTime, maxTime: p.MaxTime}
-				pairs[p.Pair] = a
-			}
-			a.count += p.Count
-			a.weight += p.Weight
-			a.distSum += p.Weight * p.MeanDistance
-			if p.MinTime < a.minTime {
-				a.minTime = p.MinTime
-			}
-			if p.MaxTime > a.maxTime {
-				a.maxTime = p.MaxTime
-			}
+	m := g.m
+	m.Threads = append(m.Threads, r)
+	m.ReuseDistance.AddHistogram(r.ReuseDistance)
+	m.ReuseTime.AddHistogram(r.ReuseTime)
+	m.Accesses += r.Accesses
+	m.Samples += r.Samples
+	m.ReusePairs += r.ReusePairs
+	for _, p := range r.Attribution {
+		a := g.pairs[p.Pair]
+		if a == nil {
+			a = &pairAgg{minTime: p.MinTime, maxTime: p.MaxTime}
+			g.pairs[p.Pair] = a
+		}
+		a.count += p.Count
+		a.weight += p.Weight
+		a.distSum += p.Weight * p.MeanDistance
+		if p.MinTime < a.minTime {
+			a.minTime = p.MinTime
+		}
+		if p.MaxTime > a.maxTime {
+			a.maxTime = p.MaxTime
 		}
 	}
-	for k, a := range pairs {
+}
+
+// Result finalizes and returns the merged view. The attribution order
+// is total (weight desc, then use PC, then reuse PC), so the merged
+// result is a pure function of the added results — map iteration order
+// cannot leak through. The merger must not be used again.
+func (g *Merger) Result() *MultiResult {
+	if g.done {
+		panic("core: Merger.Result called twice")
+	}
+	g.done = true
+	m := g.m
+	for k, a := range g.pairs {
 		ps := PairStat{Pair: k, Count: a.count, Weight: a.weight, MinTime: a.minTime, MaxTime: a.maxTime}
 		if a.weight > 0 {
 			ps.MeanDistance = a.distSum / a.weight
@@ -155,7 +233,20 @@ func MergeResults(results []*Result) *MultiResult {
 		if m.Attribution[i].Weight != m.Attribution[j].Weight {
 			return m.Attribution[i].Weight > m.Attribution[j].Weight
 		}
-		return m.Attribution[i].Pair.UsePC < m.Attribution[j].Pair.UsePC
+		if m.Attribution[i].Pair.UsePC != m.Attribution[j].Pair.UsePC {
+			return m.Attribution[i].Pair.UsePC < m.Attribution[j].Pair.UsePC
+		}
+		return m.Attribution[i].Pair.ReusePC < m.Attribution[j].Pair.ReusePC
 	})
 	return m
+}
+
+// MergeResults combines per-thread results into one program-level view:
+// NewMerger, Add in order, Result.
+func MergeResults(results []*Result) *MultiResult {
+	g := NewMerger()
+	for _, r := range results {
+		g.Add(r)
+	}
+	return g.Result()
 }

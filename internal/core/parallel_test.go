@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"reflect"
@@ -282,4 +283,116 @@ func TestProfileThreadsPoolEdgeCases(t *testing.T) {
 			t.Errorf("error does not name the failing thread: %v", err)
 		}
 	})
+}
+
+// endless is a Reader that never returns EOF: cancellation tests use it
+// to prove ProfileThreads can only be stopped by its context.
+type endless struct{ next uint64 }
+
+func (e *endless) Read(buf []mem.Access) (int, error) {
+	for i := range buf {
+		buf[i] = mem.Access{Addr: mem.Addr(e.next % 4096 * 8), PC: 0x400000, Kind: mem.Load, Size: 8}
+		e.next++
+	}
+	return len(buf), nil
+}
+
+func TestProfileThreadsContextCancelPrompt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := ProfileThreadsContext(ctx, []trace.Reader{&endless{}, &endless{}}, testConfig(500), cpumodel.Default())
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the workers get deep into the endless streams
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not stop an endless profile")
+	}
+}
+
+func TestProfileThreadsContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ProfileThreadsContext(ctx, []trace.Reader{&endless{}}, testConfig(500), cpumodel.Default()); !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestThreadConfigDerivation(t *testing.T) {
+	cfg := testConfig(500)
+	if got := ThreadConfig(cfg, 0); got != cfg {
+		t.Errorf("thread 0 must run the base config: %+v vs %+v", got, cfg)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 8; i++ {
+		tc := ThreadConfig(cfg, i)
+		if seen[tc.Seed] {
+			t.Errorf("thread %d reuses a seed", i)
+		}
+		seen[tc.Seed] = true
+		tc.Seed = cfg.Seed
+		if tc != cfg {
+			t.Errorf("thread %d changed more than the seed: %+v", i, tc)
+		}
+	}
+}
+
+// TestMergerIncrementalMatchesBatch proves the exported Merger is the
+// same merge MergeResults performs: adding results one at a time (as a
+// remote dispatcher does) yields a bit-identical MultiResult.
+func TestMergerIncrementalMatchesBatch(t *testing.T) {
+	cfg := testConfig(300)
+	var results []*Result
+	for i := 0; i < 4; i++ {
+		p, err := NewProfiler(ThreadConfig(cfg, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := p.Run(trace.ZipfAccess(uint64(50+i), mem.Addr(uint64(i)<<40), 2048, 1.0, 60000), cpumodel.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	want := MergeResults(results)
+	g := NewMerger()
+	for _, r := range results {
+		g.Add(r)
+	}
+	got := g.Result()
+	if !reflect.DeepEqual(got.ReuseDistance.Snapshot(), want.ReuseDistance.Snapshot()) {
+		t.Error("merged reuse-distance histograms differ")
+	}
+	if !reflect.DeepEqual(got.Attribution, want.Attribution) {
+		t.Error("merged attributions differ")
+	}
+	if got.Accesses != want.Accesses || got.Samples != want.Samples || got.ReusePairs != want.ReusePairs {
+		t.Error("merged counters differ")
+	}
+	for i := range want.Threads {
+		if got.Threads[i] != want.Threads[i] {
+			t.Error("thread results not retained in order")
+		}
+	}
+}
+
+func TestMergerMisuse(t *testing.T) {
+	g := NewMerger()
+	g.Result()
+	for _, f := range []func(){func() { g.Add(&Result{}) }, func() { g.Result() }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Merger misuse after Result did not panic")
+				}
+			}()
+			f()
+		}()
+	}
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/cpu"
@@ -199,6 +201,34 @@ func (p *Profiler) Run(r trace.Reader, costs cpumodel.Costs) (*Result, error) {
 	if err := m.Run(r); err != nil {
 		return nil, err
 	}
+	return p.Result(), nil
+}
+
+// RunContext is Run honoring ctx: cancellation is checked at every
+// batch boundary, so a profile of an unbounded (or merely long) stream
+// returns promptly with ctx.Err() once the context is cancelled or its
+// deadline passes. The result is bit-identical to Run's — it drives the
+// same engine through the batch-invariant Execute/Finish pair.
+func (p *Profiler) RunContext(ctx context.Context, r trace.Reader, costs cpumodel.Costs) (*Result, error) {
+	m := p.NewMachine(costs)
+	buf := trace.BatchBuf()
+	defer trace.ReleaseBatchBuf(buf)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n, err := r.Read(buf)
+		if n > 0 {
+			m.Execute(buf[:n])
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.Finish()
 	return p.Result(), nil
 }
 

@@ -53,6 +53,10 @@ type ServerBenchResult struct {
 	Period     uint64           `json:"period"`
 	Rows       []ServerBenchRow `json:"rows"`
 	Baseline   []ServerBenchRow `json:"baseline,omitempty"`
+	// Pool is the sharded multi-backend dispatcher's scaling record
+	// (RunPoolBench): aggregate throughput at 1, 2 and 4 fixed-capacity
+	// backends.
+	Pool []PoolBenchRow `json:"pool,omitempty"`
 }
 
 // AttachBaseline records base's rows as the pre-change baseline and

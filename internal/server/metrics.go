@@ -82,6 +82,12 @@ type SessionMetrics struct {
 
 // Metrics is the /metrics payload.
 type Metrics struct {
+	// Load is the routing gauge a pool dispatcher keys least-loaded
+	// assignment on: active sessions plus batches decoded but not yet
+	// executed — admitted work this backend has not finished. Unlike
+	// sessions_active alone it rises while a session's queue backs up,
+	// so a backend drowning in one heavy session stops looking idle.
+	Load           int64            `json:"load"`
 	SessionsActive int64            `json:"sessions_active"`
 	SessionsTotal  uint64           `json:"sessions_total"`
 	AccessesTotal  uint64           `json:"accesses_total"`
@@ -134,6 +140,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 		hitRate = 1 - float64(misses)/float64(gets)
 	}
 	return Metrics{
+		Load:           m.sessionsActive.Load() + m.pipelineDepth.Load(),
 		SessionsActive: m.sessionsActive.Load(),
 		SessionsTotal:  m.sessionsTotal.Load(),
 		AccessesTotal:  m.accessesTotal.Load(),

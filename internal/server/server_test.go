@@ -483,3 +483,47 @@ func TestAdminEndpoints(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestMetricsLoadGauge checks the routing gauge the pool dispatcher
+// keys on: zero at rest, >= 1 while a session is admitted, and back to
+// zero once it finishes.
+func TestMetricsLoadGauge(t *testing.T) {
+	s := start(t, server.Config{StepDelay: 2 * time.Millisecond})
+	if load := s.MetricsSnapshot().Load; load != 0 {
+		t.Fatalf("idle load = %d, want 0", load)
+	}
+	c := dial(t, s)
+	if _, err := c.Open(testConfig(500)); err != nil {
+		t.Fatal(err)
+	}
+	accs, err := trace.Collect(trace.Cyclic(0, 512, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(accs); off += 4096 {
+		end := off + 4096
+		if end > len(accs) {
+			end = len(accs)
+		}
+		if err := c.SendBatch(accs[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.MetricsSnapshot()
+	if m.Load < 1 {
+		t.Errorf("mid-session load = %d, want >= 1", m.Load)
+	}
+	if m.Load != m.SessionsActive+m.PipelineQueueDepth {
+		t.Errorf("load = %d, want sessions_active(%d) + pipeline(%d)", m.Load, m.SessionsActive, m.PipelineQueueDepth)
+	}
+	if _, err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.MetricsSnapshot().Load != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("load never returned to 0: %d", s.MetricsSnapshot().Load)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -53,6 +53,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/footprint"
 	"repro/internal/histogram"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -357,6 +359,11 @@ type Result struct {
 	ReuseTime     *histogram.Histogram `json:"reuse_time"`
 	ReuseDistance *histogram.Histogram `json:"reuse_distance"`
 	Attribution   core.Attribution     `json:"attribution,omitempty"`
+	// Account is the full cycle account behind TimeOverhead (integer
+	// counters, so it round-trips exactly). Shipping it makes ToCore a
+	// true inverse of FromCore: a result converted to wire form and back
+	// is interchangeable with the original, overhead model included.
+	Account *cpumodel.Account `json:"account,omitempty"`
 	// Final distinguishes the end-of-session result from a live
 	// snapshot.
 	Final bool `json:"final"`
@@ -380,8 +387,43 @@ func FromCore(res *core.Result, final bool) *Result {
 		ReuseTime:     res.ReuseTime,
 		ReuseDistance: res.ReuseDistance,
 		Attribution:   res.Attribution,
+		Account:       res.Account,
 		Final:         final,
 	}
+}
+
+// ToCore converts a wire result back to the in-memory core form — the
+// inverse of FromCore, making local and remote profiles fully
+// interchangeable. Every field that crosses the wire round-trips
+// bit-identically (histogram weights and attribution floats use Go's
+// shortest-exact JSON encoding; the cycle account is integers). The one
+// reconstruction is Result.Footprint, which is never shipped: it is
+// rebuilt from the reuse-time histogram at bucket resolution
+// (footprint.NewEstimatorFromHistogram), which preserves fp(w)
+// evaluation closely but is not the sample-level original. Nothing a
+// Merger consumes depends on it.
+func ToCore(res *Result) *core.Result {
+	r := &core.Result{
+		Config:        res.Config,
+		ReuseTime:     res.ReuseTime,
+		ReuseDistance: res.ReuseDistance,
+		Attribution:   res.Attribution,
+		Account:       res.Account,
+		Accesses:      res.Accesses,
+		Samples:       res.Samples,
+		ArmedSamples:  res.ArmedSamples,
+		Traps:         res.Traps,
+		ReusePairs:    res.ReusePairs,
+		ColdSamples:   res.ColdSamples,
+		Dropped:       res.Dropped,
+		Evicted:       res.Evicted,
+		Duplicates:    res.Duplicates,
+		StateBytes:    res.StateBytes,
+	}
+	if res.ReuseTime != nil {
+		r.Footprint = footprint.NewEstimatorFromHistogram(res.ReuseTime, res.Accesses)
+	}
+	return r
 }
 
 // batchSeqBytes is the sequence-number prefix of a FrameBatch payload.

@@ -222,3 +222,92 @@ func TestHistogramJSONPreservesWeightBits(t *testing.T) {
 		t.Fatalf("histogram JSON not bit-exact:\n got %+v\nwant %+v", back.Snapshot(), h.Snapshot())
 	}
 }
+
+// TestToCoreInverseOfFromCore is the round-trip property test behind
+// the pool's merge: core→wire→core→wire must be byte-identical JSON for
+// every replacement policy, so a result shipped back from a backend is
+// interchangeable with the local original. Footprint is the documented
+// exception (rebuilt at histogram resolution, never shipped) and is
+// checked for presence and approximate agreement instead.
+func TestToCoreInverseOfFromCore(t *testing.T) {
+	policies := []core.ReplacementPolicy{
+		core.ReplaceProbabilistic, core.ReplaceReservoir,
+		core.ReplaceAlways, core.ReplaceNever, core.ReplaceHybrid,
+	}
+	for _, pol := range policies {
+		cfg := core.DefaultConfig()
+		cfg.SamplePeriod = 300
+		cfg.Replacement = pol
+		p, err := core.NewProfiler(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(trace.ZipfAccess(9, 0, 4096, 1.0, 200000), cpumodel.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := FromCore(res, true)
+		if w.Account == nil {
+			t.Fatalf("%v: FromCore did not ship the cycle account", pol)
+		}
+		back := ToCore(w)
+		w2 := FromCore(back, true)
+		j1, err := json.Marshal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2, err := json.Marshal(w2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(j1, j2) {
+			t.Errorf("%v: wire form not preserved across ToCore:\n %s\nvs %s", pol, j1, j2)
+		}
+		if math.Float64bits(back.TimeOverhead()) != math.Float64bits(res.TimeOverhead()) {
+			t.Errorf("%v: overhead model did not round-trip: %v vs %v", pol, back.TimeOverhead(), res.TimeOverhead())
+		}
+		if res.Footprint != nil {
+			if back.Footprint == nil {
+				t.Fatalf("%v: footprint not rebuilt", pol)
+			}
+			// Histogram-resolution rebuild: same order of magnitude at a
+			// mid-range window, not bit-identity.
+			orig, rebuilt := res.Footprint.Footprint(1000), back.Footprint.Footprint(1000)
+			if orig > 0 && (rebuilt < orig/4 || rebuilt > orig*4) {
+				t.Errorf("%v: rebuilt footprint diverges: fp(1000) = %v vs %v", pol, rebuilt, orig)
+			}
+		}
+	}
+}
+
+// TestToCoreMergesLikeLocal checks the property the pool relies on:
+// merging wire-round-tripped results is bit-identical to merging the
+// originals.
+func TestToCoreMergesLikeLocal(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SamplePeriod = 300
+	var local, shipped []*core.Result
+	for i := 0; i < 3; i++ {
+		p, err := core.NewProfiler(core.ThreadConfig(cfg, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(trace.ZipfAccess(uint64(30+i), mem.Addr(uint64(i)<<40), 2048, 1.0, 80000), cpumodel.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		local = append(local, res)
+		shipped = append(shipped, ToCore(FromCore(res, true)))
+	}
+	want := core.MergeResults(local)
+	got := core.MergeResults(shipped)
+	if !reflect.DeepEqual(got.ReuseDistance.Snapshot(), want.ReuseDistance.Snapshot()) {
+		t.Error("merged reuse-distance differs after wire round-trip")
+	}
+	if !reflect.DeepEqual(got.Attribution, want.Attribution) {
+		t.Error("merged attribution differs after wire round-trip")
+	}
+	if got.Accesses != want.Accesses || got.Samples != want.Samples || got.ReusePairs != want.ReusePairs {
+		t.Error("merged counters differ after wire round-trip")
+	}
+}

@@ -6,16 +6,31 @@
 //
 // # Quick start
 //
-//	stream := rdx.Workload("mcf", 1, 10_000_000) // or any rdx.Reader
-//	result, err := rdx.Profile(stream, rdx.DefaultConfig())
+//	stream, _ := rdx.Workload("mcf", 1, 10_000_000) // or any rdx.Reader
+//	result, err := rdx.New().Profile(ctx, stream)
 //	if err != nil { ... }
 //	fmt.Println(result.ReuseDistance) // log2 reuse-distance histogram
 //
-// Profile runs the stream on a simulated core whose PMU samples memory
-// accesses and whose debug registers catch the reuses; no access is
-// instrumented. Exact measures the same stream exhaustively (Olken's
-// algorithm) for ground truth; Accuracy compares the two histograms the
-// way the paper does.
+// New builds a Session; Profile runs the stream on a simulated core
+// whose PMU samples memory accesses and whose debug registers catch the
+// reuses — no access is instrumented. Options select everything else
+// while keeping results bit-identical:
+//
+//	rdx.New(rdx.WithConfig(cfg))                     // custom operating point
+//	rdx.New(rdx.WithRemote("host:9090"))             // profile on an rdxd daemon
+//	rdx.New(rdx.WithRemote("host:9090"),
+//	        rdx.WithRetry(rdx.RetryPolicy{}))        // + reconnect/resume fault tolerance
+//	rdx.New(rdx.WithRemote("a:9090,b:9090,c:9090"))  // shard threads across a fleet
+//
+// Session.ProfileThreads profiles multithreaded programs (one stream
+// per thread, merged program-level histograms); with several remotes
+// the streams shard across the backends with health-checked failover.
+// Exact measures a stream exhaustively (Olken's algorithm) for ground
+// truth; Accuracy compares the two histograms the way the paper does.
+//
+// The package-level Profile* functions are the deprecated pre-Session
+// forms; they delegate to the options API and return bit-identical
+// results.
 package rdx
 
 import (
@@ -105,30 +120,19 @@ func DefaultCosts() Costs { return cpumodel.Default() }
 // Profile measures the reuse-distance histogram of an access stream with
 // RDX: PMU sampling plus debug-register watchpoints on a simulated core,
 // with zero instrumentation of the stream itself.
+//
+// Deprecated: use New(WithConfig(cfg)).Profile(ctx, r). This wrapper
+// delegates there and returns a bit-identical result.
 func Profile(r Reader, cfg Config) (*Result, error) {
-	p, err := core.NewProfiler(cfg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := p.Run(r, cpumodel.Default())
-	if err != nil {
-		return nil, fmt.Errorf("rdx: profiling: %w", err)
-	}
-	return res, nil
+	return New(WithConfig(cfg)).Profile(context.Background(), r)
 }
 
 // ProfileWithCosts is Profile with a caller-supplied cycle-cost table
 // (for overhead studies).
+//
+// Deprecated: use New(WithConfig(cfg), WithCosts(costs)).Profile(ctx, r).
 func ProfileWithCosts(r Reader, cfg Config, costs Costs) (*Result, error) {
-	p, err := core.NewProfiler(cfg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := p.Run(r, costs)
-	if err != nil {
-		return nil, fmt.Errorf("rdx: profiling: %w", err)
-	}
-	return res, nil
+	return New(WithConfig(cfg), WithCosts(costs)).Profile(context.Background(), r)
 }
 
 // Remote profiling against an rdxd daemon (cmd/rdxd). A remote session
@@ -154,13 +158,17 @@ type (
 // snapshots of a long run (RemoteOptions.OnSnapshot). The ctx bounds
 // connection establishment; for cancellation and timeouts covering the
 // whole session, use ProfileRemoteResilient.
+//
+// Deprecated: use
+// New(WithConfig(cfg), WithRemote(addr), WithRemoteOptions(opts)).Profile(ctx, r),
+// which returns the in-memory Result form directly (convert with
+// ResultToRemote if the wire form is needed).
 func ProfileRemote(ctx context.Context, addr string, r Reader, cfg Config, opts RemoteOptions) (*RemoteResult, error) {
-	c, err := wire.DialContext(ctx, addr)
+	res, err := New(WithConfig(cfg), WithRemote(addr), WithRemoteOptions(opts)).Profile(ctx, r)
 	if err != nil {
 		return nil, err
 	}
-	defer c.Close()
-	return c.Profile(r, cfg, opts)
+	return ResultToRemote(res), nil
 }
 
 // ProfileRemoteResilient is ProfileRemote with fault tolerance: the
@@ -169,10 +177,15 @@ func ProfileRemote(ctx context.Context, addr string, r Reader, cfg Config, opts 
 // surviving connection drops, corrupted frames, and even a daemon
 // restart (when rdxd runs with -checkpoint-dir). The result is still
 // bit-identical to the local Profile.
+//
+// Deprecated: use
+// New(WithConfig(cfg), WithRemote(addr), WithRemoteOptions(opts), WithRetry(policy)).Profile(ctx, r).
 func ProfileRemoteResilient(ctx context.Context, addr string, r Reader, cfg Config, opts RemoteOptions, policy RetryPolicy) (*RemoteResult, error) {
-	c := wire.NewReconnectingClient(addr, cfg, policy)
-	defer c.Close()
-	return c.Profile(ctx, r, opts)
+	res, err := New(WithConfig(cfg), WithRemote(addr), WithRemoteOptions(opts), WithRetry(policy)).Profile(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	return ResultToRemote(res), nil
 }
 
 // ResultToRemote converts a locally produced Result into the wire form,
@@ -184,16 +197,21 @@ func ResultToRemote(res *Result) *RemoteResult { return wire.FromCore(res, true)
 // program-level histograms and attribution. Reuses crossing threads are
 // not observed (per-thread hardware contexts), matching the real tool's
 // behaviour.
+//
+// Deprecated: use New(WithConfig(cfg)).ProfileThreads(ctx, streams).
 func ProfileThreads(streams []Reader, cfg Config) (*MultiResult, error) {
-	return core.ProfileThreads(streams, cfg, cpumodel.Default())
+	return New(WithConfig(cfg)).ProfileThreads(context.Background(), streams)
 }
 
 // ProfileThreadsPool is ProfileThreads with an explicit worker-pool
 // size: at most `workers` streams simulate concurrently (workers <= 0
 // selects GOMAXPROCS), so thousands of streams can be profiled without
 // a goroutine per stream. Results are independent of the pool size.
+//
+// Deprecated: use
+// New(WithConfig(cfg), WithWorkers(workers)).ProfileThreads(ctx, streams).
 func ProfileThreadsPool(streams []Reader, cfg Config, workers int) (*MultiResult, error) {
-	return core.ProfileThreadsPool(streams, cfg, cpumodel.Default(), workers)
+	return New(WithConfig(cfg), WithWorkers(workers)).ProfileThreads(context.Background(), streams)
 }
 
 // ExactResult is the ground-truth measurement of a stream.

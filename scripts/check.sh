@@ -14,6 +14,24 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Public-API surface golden: the root package's go doc dump must match
+# the committed API.txt, so any accidental export, signature change or
+# deletion shows up as a reviewable diff. Regenerate intentionally with:
+#   go doc -all . > API.txt
+echo "==> public API surface (API.txt)"
+go doc -all . > /tmp/rdx-api-surface.txt
+if ! diff -u API.txt /tmp/rdx-api-surface.txt; then
+    echo "check: public API surface drifted from API.txt" >&2
+    echo "check: if intentional, regenerate with: go doc -all . > API.txt" >&2
+    exit 1
+fi
+
+# Pool fault smoke: the multi-backend E2E (64 streams, 3 backends,
+# injected faults, one backend killed mid-run) must keep producing
+# results bit-identical to the local run.
+echo "==> pool fault-injection smoke"
+go test -run='^TestPoolE2EFaultsAndBackendDeath$' -count=1 ./internal/pool
+
 # Short fuzz smoke on the wire-protocol decoders: enough to catch a
 # regression in the corpus or an obvious panic, cheap enough for CI.
 echo "==> fuzz smoke (wire decoders, 10s each)"

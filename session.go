@@ -1,0 +1,212 @@
+package rdx
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/internal/wire"
+)
+
+// Pool vocabulary, re-exported so callers configure multi-backend
+// profiling without importing internal packages.
+type (
+	// Backend identifies one rdxd daemon: profiling address plus
+	// optional admin (health/metrics) address.
+	Backend = pool.Backend
+	// PoolOptions tunes the multi-backend dispatcher: per-backend
+	// in-flight bound, health-probe cadence, failover budget.
+	PoolOptions = pool.Options
+	// PoolStats counts a pool's dispatch and failover events.
+	PoolStats = pool.Stats
+)
+
+// ParseBackends parses a comma-separated backend list, each element
+// "addr" or "addr=adminaddr" — the format cmd/rdx's -remote flag and
+// WithRemote accept.
+func ParseBackends(spec string) ([]Backend, error) { return pool.ParseBackends(spec) }
+
+// Session is the configured entry point of the API: construct one with
+// New and the With* options, then Profile or ProfileThreads under a
+// context. The zero configuration profiles locally under DefaultConfig
+// and DefaultCosts; options layer remote execution, fault tolerance and
+// multi-backend sharding on top without changing the results — every
+// execution strategy returns bit-identical profiles for the same stream
+// and config.
+//
+//	res, err := rdx.New().Profile(ctx, stream)                    // local
+//	res, err := rdx.New(rdx.WithRemote("host:9090")).Profile(ctx, stream)
+//	m, err := rdx.New(
+//	    rdx.WithRemote("a:9090", "b:9090", "c:9090"),
+//	    rdx.WithRetry(rdx.RetryPolicy{}),
+//	).ProfileThreads(ctx, streams)                                // sharded pool
+//
+// A Session is immutable after New and safe for concurrent use; each
+// Profile/ProfileThreads call is an independent run.
+type Session struct {
+	cfg        Config
+	costs      Costs
+	remotes    []Backend
+	retry      *RetryPolicy
+	remoteOpts RemoteOptions
+	workers    int
+	poolOpts   PoolOptions
+	poolSet    bool
+	err        error
+}
+
+// Option configures a Session at New time.
+type Option func(*Session)
+
+// New builds a Session from options. Without options it profiles
+// locally, in process, under DefaultConfig and DefaultCosts.
+func New(opts ...Option) *Session {
+	s := &Session{cfg: DefaultConfig(), costs: DefaultCosts()}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// WithConfig sets the profiler configuration (sampling period,
+// watchpoints, replacement policy, ...).
+func WithConfig(cfg Config) Option { return func(s *Session) { s.cfg = cfg } }
+
+// WithCosts sets the cycle-cost table used for modelled overhead
+// accounting (local profiling only; remote daemons apply their own).
+func WithCosts(costs Costs) Option { return func(s *Session) { s.costs = costs } }
+
+// WithRemote directs profiling to rdxd daemons instead of running in
+// process. Each addr is "host:port" or "host:port=adminhost:port" (the
+// admin listener enables health probes and load-aware routing). One
+// address profiles against that daemon; several shard ProfileThreads
+// streams across the fleet with health-checked failover.
+func WithRemote(addrs ...string) Option {
+	return func(s *Session) {
+		for _, a := range addrs {
+			bs, err := pool.ParseBackends(a)
+			if err != nil {
+				s.err = err
+				return
+			}
+			s.remotes = append(s.remotes, bs...)
+		}
+	}
+}
+
+// WithRetry makes remote sessions fault tolerant: transparent
+// reconnection with backoff, checkpoint/resume, idempotent batch
+// replay. The zero RetryPolicy selects sane defaults.
+func WithRetry(policy RetryPolicy) Option {
+	return func(s *Session) { s.retry = &policy }
+}
+
+// WithRemoteOptions tunes remote streaming (batch size, live-snapshot
+// cadence and callback).
+func WithRemoteOptions(opts RemoteOptions) Option {
+	return func(s *Session) { s.remoteOpts = opts }
+}
+
+// WithWorkers bounds how many streams a local ProfileThreads simulates
+// concurrently (n <= 0 selects GOMAXPROCS). Results are independent of
+// the worker count.
+func WithWorkers(n int) Option { return func(s *Session) { s.workers = n } }
+
+// WithPool tunes multi-backend dispatch (per-backend in-flight bound,
+// probe cadence, failover budget) and forces pool dispatch even for a
+// single backend. The options' zero values select the pool defaults.
+func WithPool(opts PoolOptions) Option {
+	return func(s *Session) { s.poolOpts = opts; s.poolSet = true }
+}
+
+// newPool builds the dispatcher a remote multi-backend run uses,
+// folding the session's retry policy into the pool options.
+func (s *Session) newPool() (*pool.Pool, error) {
+	opts := s.poolOpts
+	if s.retry != nil {
+		opts.Retry = *s.retry
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = s.remoteOpts.BatchSize
+	}
+	return pool.New(s.remotes, opts)
+}
+
+// Profile measures the reuse-distance profile of one access stream
+// under the session's configuration — locally, on a remote daemon, or
+// through the backend pool, all bit-identical for the same stream and
+// config. The context cancels the run at batch granularity.
+func (s *Session) Profile(ctx context.Context, r Reader) (*Result, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	switch {
+	case len(s.remotes) == 0:
+		p, err := core.NewProfiler(s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.RunContext(ctx, r, s.costs)
+		if err != nil {
+			return nil, fmt.Errorf("rdx: profiling: %w", err)
+		}
+		return res, nil
+	case len(s.remotes) == 1 && !s.poolSet:
+		var (
+			wres *RemoteResult
+			err  error
+		)
+		if s.retry != nil {
+			c := wire.NewReconnectingClient(s.remotes[0].Addr, s.cfg, *s.retry)
+			defer c.Close()
+			wres, err = c.Profile(ctx, r, s.remoteOpts)
+		} else {
+			var c *wire.Client
+			c, err = wire.DialContext(ctx, s.remotes[0].Addr)
+			if err != nil {
+				return nil, err
+			}
+			defer c.Close()
+			wres, err = c.Profile(r, s.cfg, s.remoteOpts)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rdx: remote profiling: %w", err)
+		}
+		return RemoteToResult(wres), nil
+	default:
+		p, err := s.newPool()
+		if err != nil {
+			return nil, err
+		}
+		defer p.Close()
+		return p.Profile(ctx, r, s.cfg)
+	}
+}
+
+// ProfileThreads profiles each stream as one thread of a multithreaded
+// program — per-thread PMU and debug-register contexts, merged
+// program-level histograms and attribution. Locally the streams run on
+// a bounded worker pool (WithWorkers); with remotes they shard across
+// the backend fleet with least-loaded routing and failover. Either way
+// the MultiResult is bit-identical for the same streams and config.
+func (s *Session) ProfileThreads(ctx context.Context, streams []Reader) (*MultiResult, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if len(s.remotes) == 0 {
+		return core.ProfileThreadsPoolContext(ctx, streams, s.cfg, s.costs, s.workers)
+	}
+	p, err := s.newPool()
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	return p.ProfileThreads(ctx, streams, s.cfg)
+}
+
+// RemoteToResult converts a wire-form profile back to the in-memory
+// Result — the inverse of ResultToRemote, so remotely produced profiles
+// are fully interchangeable with local ones (Footprint is rebuilt at
+// histogram resolution; everything else round-trips bit-identically).
+func RemoteToResult(res *RemoteResult) *Result { return wire.ToCore(res) }

@@ -1,0 +1,224 @@
+package rdx
+
+// Differential tests for the options-based Session API: every
+// deprecated package-level entry point must produce results
+// bit-identical to the equivalent New(...) call, across all watchpoint
+// replacement policies — the compatibility contract the deprecation
+// rests on.
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+var allPolicies = []ReplacementPolicy{
+	ReplaceProbabilistic, ReplaceReservoir, ReplaceAlways, ReplaceNever, ReplaceHybrid,
+}
+
+// fingerprint reduces a Result to the byte-exact wire JSON (the form
+// every bit-identity test in the repo compares).
+func fingerprint(t *testing.T, r *Result) string {
+	t.Helper()
+	b, err := json.Marshal(ResultToRemote(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func policyConfig(pol ReplacementPolicy) Config {
+	cfg := DefaultConfig()
+	cfg.SamplePeriod = 400
+	cfg.Replacement = pol
+	return cfg
+}
+
+func TestSessionDifferentialLocal(t *testing.T) {
+	ctx := context.Background()
+	for _, pol := range allPolicies {
+		cfg := policyConfig(pol)
+		accs, err := trace.Collect(ZipfAccess(11, 0, 4096, 1.0, 120000))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		oldRes, err := Profile(FromSlice(accs), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRes, err := New(WithConfig(cfg)).Profile(ctx, FromSlice(accs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fingerprint(t, oldRes) != fingerprint(t, newRes) {
+			t.Errorf("%v: Profile wrapper diverges from Session", pol)
+		}
+
+		costs := DefaultCosts()
+		costs.TrapCycles *= 2
+		oldRes, err = ProfileWithCosts(FromSlice(accs), cfg, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRes, err = New(WithConfig(cfg), WithCosts(costs)).Profile(ctx, FromSlice(accs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fingerprint(t, oldRes) != fingerprint(t, newRes) {
+			t.Errorf("%v: ProfileWithCosts wrapper diverges from Session", pol)
+		}
+	}
+}
+
+func TestSessionDifferentialThreads(t *testing.T) {
+	ctx := context.Background()
+	mkStreams := func() []Reader {
+		var rs []Reader
+		for i := 0; i < 4; i++ {
+			rs = append(rs, ZipfAccess(uint64(70+i), Addr(uint64(i)<<40), 2048, 1.0, 50000))
+		}
+		return rs
+	}
+	multiFP := func(m *MultiResult) string {
+		var parts []string
+		for _, r := range m.Threads {
+			parts = append(parts, fingerprint(t, r))
+		}
+		at, err := json.Marshal(m.Attribution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, _ := json.Marshal(m.ReuseDistance.Snapshot())
+		parts = append(parts, string(at), string(rd))
+		b, _ := json.Marshal(parts)
+		return string(b)
+	}
+	for _, pol := range allPolicies {
+		cfg := policyConfig(pol)
+		oldM, err := ProfileThreads(mkStreams(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newM, err := New(WithConfig(cfg)).ProfileThreads(ctx, mkStreams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multiFP(oldM) != multiFP(newM) {
+			t.Errorf("%v: ProfileThreads wrapper diverges from Session", pol)
+		}
+
+		oldM, err = ProfileThreadsPool(mkStreams(), cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newM, err = New(WithConfig(cfg), WithWorkers(2)).ProfileThreads(ctx, mkStreams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multiFP(oldM) != multiFP(newM) {
+			t.Errorf("%v: ProfileThreadsPool wrapper diverges from Session", pol)
+		}
+	}
+}
+
+func TestSessionDifferentialRemote(t *testing.T) {
+	srv, err := server.New(server.Config{Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Close()
+	ctx := context.Background()
+	cfg := policyConfig(ReplaceProbabilistic)
+	accs, err := trace.Collect(ZipfAccess(13, 0, 4096, 1.0, 100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := New(WithConfig(cfg)).Profile(ctx, FromSlice(accs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localFP := fingerprint(t, local)
+
+	// Plain remote: deprecated wrapper vs Session, vs local.
+	oldW, err := ProfileRemote(ctx, srv.Addr(), FromSlice(accs), cfg, RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := New(WithConfig(cfg), WithRemote(srv.Addr())).Profile(ctx, FromSlice(accs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldJ, _ := json.Marshal(oldW)
+	if string(oldJ) != fingerprint(t, newRes) {
+		t.Error("ProfileRemote wrapper diverges from Session")
+	}
+	// StateBytes reports capacity growth, which legitimately differs
+	// between the server's batch sizes and the local profiler's; zero it
+	// for the remote-vs-local check.
+	neutral := func(fp string) string {
+		var w RemoteResult
+		if err := json.Unmarshal([]byte(fp), &w); err != nil {
+			t.Fatal(err)
+		}
+		w.StateBytes = 0
+		b, _ := json.Marshal(&w)
+		return string(b)
+	}
+	if neutral(fingerprint(t, newRes)) != neutral(localFP) {
+		t.Error("remote Session result diverges from local")
+	}
+
+	// Resilient remote: deprecated wrapper vs Session.
+	policy := RetryPolicy{MaxAttempts: 4, BaseDelay: 2 * time.Millisecond, OpTimeout: 10 * time.Second}
+	oldW, err = ProfileRemoteResilient(ctx, srv.Addr(), FromSlice(accs), cfg, RemoteOptions{}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err = New(WithConfig(cfg), WithRemote(srv.Addr()), WithRetry(policy)).Profile(ctx, FromSlice(accs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldJ, _ = json.Marshal(oldW)
+	if string(oldJ) != fingerprint(t, newRes) {
+		t.Error("ProfileRemoteResilient wrapper diverges from Session")
+	}
+}
+
+func TestSessionRemoteToResultInverse(t *testing.T) {
+	cfg := policyConfig(ReplaceHybrid)
+	res, err := New(WithConfig(cfg)).Profile(context.Background(), ZipfAccess(3, 0, 2048, 1.0, 80000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := RemoteToResult(ResultToRemote(res))
+	if fingerprint(t, back) != fingerprint(t, res) {
+		t.Error("RemoteToResult is not the inverse of ResultToRemote")
+	}
+	if back.Footprint == nil {
+		t.Error("footprint not rebuilt on conversion")
+	}
+}
+
+func TestSessionBadRemoteSpec(t *testing.T) {
+	s := New(WithRemote("=admin"))
+	if _, err := s.Profile(context.Background(), Cyclic(0, 16, 100)); err == nil {
+		t.Error("bad backend spec should surface at Profile time")
+	}
+	if _, err := s.ProfileThreads(context.Background(), []Reader{Cyclic(0, 16, 100)}); err == nil {
+		t.Error("bad backend spec should surface at ProfileThreads time")
+	}
+}
+
+func TestSessionLocalContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New().Profile(ctx, Cyclic(0, 1024, 1<<30)); err == nil {
+		t.Error("cancelled local profile should fail")
+	}
+}
