@@ -37,21 +37,22 @@ import (
 
 func main() {
 	var (
-		workload  = flag.String("workload", "mcf", "suite workload to profile (see -list)")
-		tracePath = flag.String("trace", "", "replay this recorded RDT3 trace file instead of a generated workload")
-		n         = flag.Uint64("n", 4<<20, "number of memory accesses to execute")
-		period    = flag.Uint64("period", 8<<10, "mean sampling period in accesses")
-		nwp       = flag.Int("watchpoints", 4, "number of hardware debug registers")
-		seed      = flag.Uint64("seed", 1, "random seed for workload and profiler")
-		gran      = flag.String("granularity", "word", "measurement granularity: byte, word or line")
-		runExact  = flag.Bool("exact", false, "also run the exhaustive ground-truth tool and report accuracy")
-		pairs     = flag.Int("pairs", 0, "print the top N use→reuse code pairs by weight")
-		jsonOut   = flag.Bool("json", false, "emit the machine-readable result (histograms, counters, overheads, accuracy) to stdout instead of the report")
-		jsonFile  = flag.String("json-file", "", "additionally write the machine-readable result to this file")
+		workload    = flag.String("workload", "mcf", "suite workload to profile (see -list)")
+		tracePath   = flag.String("trace", "", "replay this recorded RDT3 trace file instead of a generated workload")
+		n           = flag.Uint64("n", 4<<20, "number of memory accesses to execute")
+		period      = flag.Uint64("period", 8<<10, "mean sampling period in accesses")
+		nwp         = flag.Int("watchpoints", 4, "number of hardware debug registers")
+		seed        = flag.Uint64("seed", 1, "random seed for workload and profiler")
+		gran        = flag.String("granularity", "word", "measurement granularity: byte, word or line")
+		runExact    = flag.Bool("exact", false, "also run the exhaustive ground-truth tool and report accuracy")
+		pairs       = flag.Int("pairs", 0, "print the top N use→reuse code pairs by weight")
+		jsonOut     = flag.Bool("json", false, "emit the machine-readable result (histograms, counters, overheads, accuracy) to stdout instead of the report")
+		jsonFile    = flag.String("json-file", "", "additionally write the machine-readable result to this file")
 		remote      = flag.String("remote", "", "profile via rdxd instead of in-process: one daemon address, or a comma-separated pool (each \"addr\" or \"addr=adminaddr\")")
 		snapEvery   = flag.Int("snapshot-every", 0, "with -remote: print a live snapshot line every N batches")
 		retry       = flag.Int("retry", 0, "with -remote: survive connection faults with up to N consecutive reconnect attempts (0 = no retry)")
 		dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "with -remote: timeout for each connection attempt")
+		maxWire     = flag.Int("max-wire-version", 3, "with -remote: highest wire protocol version to offer (2 = uncompressed RDT3 batches, 3 = compressed columnar batches)")
 		list        = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
@@ -102,7 +103,7 @@ func main() {
 	ctx := context.Background()
 	if *remote != "" {
 		sessOpts = append(sessOpts, rdx.WithRemote(*remote))
-		ropts := rdx.RemoteOptions{SnapshotEvery: *snapEvery}
+		ropts := rdx.RemoteOptions{SnapshotEvery: *snapEvery, MaxWireVersion: *maxWire}
 		if *snapEvery > 0 && !*jsonOut {
 			ropts.OnSnapshot = func(s *rdx.RemoteResult) {
 				fmt.Printf("snapshot: %d accesses, %d samples, %d reuse pairs, overhead %.2f%%\n",

@@ -1,0 +1,118 @@
+package cpu
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cpumodel"
+	"repro/internal/mem"
+	"repro/internal/pmu"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TestExecuteColumnsMatchesExecute is the columnar engine's differential
+// gate: driving the machine with ExecuteColumns over irregular batch
+// boundaries must reproduce the row-wise Execute run bit-exactly —
+// identical event logs (indices, addresses, handler-observed counter
+// values), cycle accounts, PMU counters and debug-register tallies.
+func TestExecuteColumnsMatchesExecute(t *testing.T) {
+	costs := cpumodel.Default()
+	cfgs := []pmu.Config{
+		{Event: pmu.AllAccesses, Period: 100, Randomize: true, Seed: 7},
+		{Event: pmu.AllAccesses, Period: 64, Randomize: true, Skid: 5, Seed: 3},
+		{Event: pmu.LoadsOnly, Period: 50, Randomize: true, Seed: 11},
+		{Event: pmu.StoresOnly, Period: 30, Skid: 2, Seed: 5},
+		{Event: pmu.AllAccesses, Period: 1, Seed: 9},
+		{Event: pmu.AllAccesses, Period: 0, Seed: 1}, // counting mode
+	}
+	for ci, cfg := range cfgs {
+		t.Run(fmt.Sprintf("cfg=%d", ci), func(t *testing.T) {
+			accs := randomTrace(uint64(ci)*17+1, 30011, 96)
+
+			row := newRDXLike(cfg, 4, costs)
+			col := newRDXLike(cfg, 4, costs)
+			rng := stats.NewRNG(5)
+			var cols trace.Columns
+			for pos := 0; pos < len(accs); {
+				n := int(rng.Uint64n(700)) // 0 is a legal (no-op) batch
+				if pos+n > len(accs) {
+					n = len(accs) - pos
+				}
+				batch := accs[pos : pos+n]
+				row.m.Execute(batch)
+				cols.Reset()
+				cols.AppendBatch(batch)
+				col.m.ExecuteColumns(&cols)
+				pos += n
+			}
+			row.m.Finish()
+			col.m.Finish()
+
+			if !reflect.DeepEqual(row.events, col.events) {
+				t.Fatalf("event logs diverge:\nrow %d events\ncol %d events\nrow=%v\ncol=%v",
+					len(row.events), len(col.events), head(row.events), head(col.events))
+			}
+			if !reflect.DeepEqual(row.m.Account(), col.m.Account()) {
+				t.Fatalf("accounts diverge:\nrow=%+v\ncol=%+v", row.m.Account(), col.m.Account())
+			}
+			if row.p.Count() != col.p.Count() || row.p.AllCount() != col.p.AllCount() || row.p.Samples() != col.p.Samples() {
+				t.Fatalf("PMU counters diverge")
+			}
+			if row.f.Traps() != col.f.Traps() || row.f.Arms() != col.f.Arms() {
+				t.Fatalf("debugreg counters diverge")
+			}
+			if row.m.AccessIndex() != col.m.AccessIndex() {
+				t.Fatalf("final AccessIndex: row=%d col=%d", row.m.AccessIndex(), col.m.AccessIndex())
+			}
+		})
+	}
+}
+
+// TestExecuteColumnsInstrumented: the exhaustive path must observe every
+// access, in order, with the right indices and reconstructed fields.
+func TestExecuteColumnsInstrumented(t *testing.T) {
+	accs := randomTrace(3, 9000, 96)
+	var got []mem.Access
+	var idxs []uint64
+	m := New(cpumodel.Default(), WithInstrumentation(func(idx uint64, a mem.Access) {
+		idxs = append(idxs, idx)
+		got = append(got, a)
+	}))
+	var cols trace.Columns
+	cols.AppendBatch(accs)
+	m.ExecuteColumns(&cols)
+	m.Finish()
+	if len(got) != len(accs) {
+		t.Fatalf("instrumented %d accesses, want %d", len(got), len(accs))
+	}
+	for i := range got {
+		if idxs[i] != uint64(i) {
+			t.Fatalf("instrumentation index %d = %d", i, idxs[i])
+		}
+		if got[i] != accs[i] {
+			t.Fatalf("access %d reconstructed as %v, want %v", i, got[i], accs[i])
+		}
+	}
+}
+
+// TestExecuteColumnsBareMachine checks the columnar free-run fast path.
+func TestExecuteColumnsBareMachine(t *testing.T) {
+	const n = 10000
+	m := New(cpumodel.Default())
+	accs, err := trace.Collect(trace.Cyclic(0, 100, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cols trace.Columns
+	cols.AppendBatch(accs)
+	m.ExecuteColumns(&cols)
+	m.Finish()
+	if got := m.Account().Accesses; got != n {
+		t.Fatalf("accesses = %d, want %d", got, n)
+	}
+	if got := m.AccessIndex(); got != n-1 {
+		t.Fatalf("AccessIndex = %d, want %d", got, n-1)
+	}
+}

@@ -57,6 +57,12 @@ type ServerBenchResult struct {
 	// (RunPoolBench): aggregate throughput at 1, 2 and 4 fixed-capacity
 	// backends.
 	Pool []PoolBenchRow `json:"pool,omitempty"`
+	// Wire is the wire-bandwidth record (RunWireBench): bytes per
+	// access and compression ratio for each workload shape under v2 row
+	// framing and v3 columnar framing. The strided v3 row's
+	// compression_ratio is the committed baseline scripts/check.sh
+	// gates against.
+	Wire []WireBenchRow `json:"wire,omitempty"`
 }
 
 // AttachBaseline records base's rows as the pre-change baseline and

@@ -112,6 +112,10 @@ type Options struct {
 	// BatchSize is the accesses per wire frame (default
 	// trace.DefaultBatchSize).
 	BatchSize int
+	// MaxWireVersion caps the wire version offered to every backend
+	// (0 = latest). Set to wire.WireV2 when fronting pre-columnar
+	// daemons, though negotiation falls back per backend anyway.
+	MaxWireVersion int
 	// Retry is the per-session fault policy handed to
 	// wire.ReconnectingClient (zero value = wire defaults). It governs
 	// recovery *within* a backend; the pool governs failover *across*
@@ -231,8 +235,8 @@ func (p *Pool) Close() {
 // Stats returns the dispatch counters accumulated so far.
 func (p *Pool) Stats() Stats {
 	s := Stats{
-		Dispatched:   p.dispatched.Load(),
-		Redispatched: p.redispatched.Load(),
+		Dispatched:    p.dispatched.Load(),
+		Redispatched:  p.redispatched.Load(),
 		ProbeFailures: p.probeFails.Load(),
 	}
 	for _, b := range p.backends {
@@ -508,6 +512,7 @@ func (p *Pool) runOn(ctx context.Context, b *backendState, r trace.Reader, tcfg 
 		policy.Dial = p.opts.Dial
 	}
 	c := wire.NewReconnectingClient(b.Addr, tcfg, policy)
+	c.SetMaxWireVersion(p.opts.MaxWireVersion)
 	defer c.Close()
 
 	batch := p.opts.BatchSize

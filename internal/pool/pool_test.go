@@ -107,8 +107,8 @@ func sameMulti(t *testing.T, got, want *core.MultiResult) {
 		}
 	}
 	type merged struct {
-		RD, RT, Attr        string
-		Acc, Samp, Pairs    uint64
+		RD, RT, Attr     string
+		Acc, Samp, Pairs uint64
 	}
 	fp := func(m *core.MultiResult) merged {
 		rd, _ := json.Marshal(m.ReuseDistance.Snapshot())

@@ -3,7 +3,9 @@ package server_test
 import (
 	"bytes"
 	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/server"
 	"repro/internal/testutil"
@@ -45,6 +47,121 @@ func TestE2EQueueDepthOneBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameWireProfile(t, "queue-depth-1 remote vs local", got, want)
+}
+
+// TestSteadyStateAllocs16Sessions pins the per-session allocation creep
+// fixed in this change: BENCH_server.json showed allocs/batch growing
+// 1.8 → 3.0 → 10.3 at 1/4/16 sessions because per-connection state
+// (bufio readers and writers, decode scratch, column scratch) was
+// allocated fresh per session and amortized over fewer batches. With
+// those on cross-session pools, the steady state — sessions open, pools
+// warm, batches streaming — must stay allocation-free no matter how
+// many sessions share the server. The budget is 0.5 allocs/batch
+// across 16 concurrent sessions, whole-process (client and server
+// side), with slack only for scheduler and measurement noise.
+func TestSteadyStateAllocs16Sessions(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	const (
+		sessions    = 16
+		batchSize   = 4096
+		warmBatches = 32
+		batches     = 256 // per session, in the measured window
+		budget      = 0.5
+	)
+	accs, err := trace.Collect(trace.ZipfAccess(11, 0, 1<<14, 1.0, batchSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := start(t, server.Config{CheckpointEvery: -1})
+
+	clients := make([]*wire.Client, sessions)
+	for i := range clients {
+		c := dial(t, s)
+		if _, err := c.Open(testConfig(4096)); err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	stream := func(c *wire.Client, n int) error {
+		for i := 0; i < n; i++ {
+			if err := c.SendBatch(accs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Warm every session's pipeline concurrently — the same shape as the
+	// measured window, so each session's free ring of column scratch is
+	// fully grown; the Sync forces each one through decode, execute and
+	// checkpoint so all pools are primed before the window opens.
+	var warmWG sync.WaitGroup
+	warmErrs := make([]error, sessions)
+	for i, c := range clients {
+		warmWG.Add(1)
+		go func(i int, c *wire.Client) {
+			defer warmWG.Done()
+			if err := stream(c, warmBatches); err != nil {
+				warmErrs[i] = err
+				return
+			}
+			_, warmErrs[i] = c.Sync()
+		}(i, c)
+	}
+	warmWG.Wait()
+	for _, err := range warmErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Syncs checkpoint by design, which allocates; the measured window
+	// therefore contains only streaming, and completion of the
+	// server-side pipeline is confirmed through the metrics gauge
+	// instead.
+	base := s.MetricsSnapshot().AccessesTotal
+	want := base + uint64(sessions*batches*batchSize)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *wire.Client) {
+			defer wg.Done()
+			errs[i] = stream(c, batches)
+		}(i, c)
+	}
+	wg.Wait()
+	for deadline := time.Now().Add(30 * time.Second); s.MetricsSnapshot().AccessesTotal < want; {
+		if time.Now().After(deadline) {
+			t.Fatalf("server executed %d of %d accesses", s.MetricsSnapshot().AccessesTotal, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	runtime.ReadMemStats(&after)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	perBatch := float64(after.Mallocs-before.Mallocs) / (sessions * batches)
+	t.Logf("16-session steady state: %.3f allocs/batch (%d accesses/batch)", perBatch, batchSize)
+	if perBatch > budget {
+		t.Errorf("steady state allocates %.3f times per batch across %d sessions, budget %v",
+			perBatch, sessions, budget)
+	}
+	for _, c := range clients {
+		if _, err := c.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
 }
 
 // TestStreamingAllocBudget bounds the steady-state allocation cost of

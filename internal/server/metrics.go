@@ -20,6 +20,7 @@ type metrics struct {
 	droppedBatches atomic.Uint64
 	snapshotsTotal atomic.Uint64
 	bytesIn        atomic.Uint64
+	batchBytes     atomic.Uint64 // batch-frame payload bytes (both framings)
 	peakQueueDepth atomic.Int64
 	pipelineDepth  atomic.Int64 // batches decoded but not yet executed
 
@@ -87,16 +88,25 @@ type Metrics struct {
 	// executed — admitted work this backend has not finished. Unlike
 	// sessions_active alone it rises while a session's queue backs up,
 	// so a backend drowning in one heavy session stops looking idle.
-	Load           int64            `json:"load"`
-	SessionsActive int64            `json:"sessions_active"`
-	SessionsTotal  uint64           `json:"sessions_total"`
-	AccessesTotal  uint64           `json:"accesses_total"`
-	AccessesPerSec float64          `json:"accesses_per_sec"`
-	BatchesTotal   uint64           `json:"batches_total"`
-	DroppedBatches uint64           `json:"dropped_batches"`
-	SnapshotsTotal uint64           `json:"snapshots_total"`
-	BytesIn        uint64           `json:"bytes_in"`
-	PeakQueueDepth int64            `json:"peak_queue_depth"`
+	Load           int64   `json:"load"`
+	SessionsActive int64   `json:"sessions_active"`
+	SessionsTotal  uint64  `json:"sessions_total"`
+	AccessesTotal  uint64  `json:"accesses_total"`
+	AccessesPerSec float64 `json:"accesses_per_sec"`
+	BatchesTotal   uint64  `json:"batches_total"`
+	DroppedBatches uint64  `json:"dropped_batches"`
+	SnapshotsTotal uint64  `json:"snapshots_total"`
+	BytesIn        uint64  `json:"bytes_in"`
+	// BatchBytes is the cumulative batch-frame payload bytes received
+	// (both wire framings); BytesPerAccess = BatchBytes/AccessesTotal is
+	// the measured wire cost of one access, and CompressionRatio relates
+	// it to the 18-byte in-memory access record — the bandwidth
+	// multiplier the columnar v3 encoding buys. Both are 0 until the
+	// first batch arrives.
+	BatchBytes       uint64  `json:"batch_bytes"`
+	BytesPerAccess   float64 `json:"bytes_per_access"`
+	CompressionRatio float64 `json:"compression_ratio"`
+	PeakQueueDepth   int64   `json:"peak_queue_depth"`
 	// PipelineQueueDepth is the live count of batches sitting between
 	// the decode and execute stages across all sessions.
 	PipelineQueueDepth int64 `json:"pipeline_queue_depth"`
@@ -139,16 +149,30 @@ func (s *Server) MetricsSnapshot() Metrics {
 	if gets, misses := wire.PoolStats(); gets > 0 {
 		hitRate = 1 - float64(misses)/float64(gets)
 	}
+	// rawAccessBytes is one access record's in-memory wire-free cost
+	// (8-byte address + 8-byte PC + size + kind), the baseline the
+	// compression ratio is measured against.
+	const rawAccessBytes = 18
+	var bytesPerAccess, compression float64
+	if acc := m.accessesTotal.Load(); acc > 0 {
+		bytesPerAccess = float64(m.batchBytes.Load()) / float64(acc)
+		if bytesPerAccess > 0 {
+			compression = rawAccessBytes / bytesPerAccess
+		}
+	}
 	return Metrics{
-		Load:           m.sessionsActive.Load() + m.pipelineDepth.Load(),
-		SessionsActive: m.sessionsActive.Load(),
-		SessionsTotal:  m.sessionsTotal.Load(),
-		AccessesTotal:  m.accessesTotal.Load(),
-		AccessesPerSec: rate,
-		BatchesTotal:   m.batchesTotal.Load(),
-		DroppedBatches: m.droppedBatches.Load(),
-		SnapshotsTotal: m.snapshotsTotal.Load(),
+		Load:               m.sessionsActive.Load() + m.pipelineDepth.Load(),
+		SessionsActive:     m.sessionsActive.Load(),
+		SessionsTotal:      m.sessionsTotal.Load(),
+		AccessesTotal:      m.accessesTotal.Load(),
+		AccessesPerSec:     rate,
+		BatchesTotal:       m.batchesTotal.Load(),
+		DroppedBatches:     m.droppedBatches.Load(),
+		SnapshotsTotal:     m.snapshotsTotal.Load(),
 		BytesIn:            m.bytesIn.Load(),
+		BatchBytes:         m.batchBytes.Load(),
+		BytesPerAccess:     bytesPerAccess,
+		CompressionRatio:   compression,
 		PeakQueueDepth:     m.peakQueueDepth.Load(),
 		PipelineQueueDepth: m.pipelineDepth.Load(),
 		PoolHitRate:        hitRate,

@@ -1,0 +1,132 @@
+package server_test
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/server"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// TestWireVersionMatrix runs the same profile across every pairing of
+// client and server wire-version ceilings. Whatever framing the
+// handshake lands on, the result must be bit-identical to the local
+// profile, and the negotiated version must be the minimum of the two
+// ceilings (old peers are emulated by capping MaxWireVersion, since the
+// v2 code path is exactly what an old binary would run).
+func TestWireVersionMatrix(t *testing.T) {
+	cfg := testConfig(300)
+	accs, err := trace.Collect(trace.ZipfAccess(21, 0, 8192, 1.0, 150000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localProfile(t, accs, cfg)
+
+	cases := []struct {
+		name                 string
+		serverMax, clientMax int
+		negotiated           int
+	}{
+		{"v3-client-to-v2-server", wire.WireV2, 0, wire.WireV2},
+		{"v2-client-to-v3-server", 0, wire.WireV2, wire.WireV2},
+		{"v3-client-to-v3-server", 0, 0, wire.WireV3},
+		{"v2-client-to-v2-server", wire.WireV2, wire.WireV2, wire.WireV2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := start(t, server.Config{MaxWireVersion: tc.serverMax})
+			c := dial(t, s)
+			if tc.clientMax != 0 {
+				c.SetMaxWireVersion(tc.clientMax)
+			}
+			got, err := c.Profile(trace.FromSlice(accs), cfg, wire.ProfileOptions{BatchSize: 2048})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := c.WireVersion(); v != tc.negotiated {
+				t.Errorf("negotiated wire v%d, want v%d", v, tc.negotiated)
+			}
+			sameWireProfile(t, tc.name+" remote vs local", got, want)
+
+			// Whichever framing ran, the server must have accounted its
+			// payload bytes; under v3 the strided-and-clustered Zipf stream
+			// must actually compress.
+			m := s.MetricsSnapshot()
+			if m.BytesPerAccess <= 0 {
+				t.Errorf("bytes_per_access not accounted: %+v", m)
+			}
+			if tc.negotiated >= wire.WireV3 && m.CompressionRatio < 2 {
+				t.Errorf("v3 compression ratio %.2f, want >= 2", m.CompressionRatio)
+			}
+		})
+	}
+}
+
+// TestReconnectAcrossWireVersions is the cross-version chaos test: two
+// daemons share a checkpoint directory but disagree on the maximum wire
+// version (one speaks only v2, one prefers v3), and every connection
+// goes through a fault injector that drops and corrupts mid-stream. The
+// dial hook alternates between the daemons, so each reconnect
+// renegotiates framing and each resumed session keeps streaming in
+// whatever version the new peer allows. The profile must come out
+// bit-identical to the local run regardless.
+func TestReconnectAcrossWireVersions(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(400)
+	accs, err := trace.Collect(trace.ZipfAccess(17, 0, 8192, 1.0, 250000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localProfile(t, accs, cfg)
+
+	mk := func(maxWire int) *server.Server {
+		return start(t, server.Config{
+			CheckpointDir:   dir,
+			CheckpointEvery: 4,
+			MaxWireVersion:  maxWire,
+			RetryAfterHint:  5 * time.Millisecond,
+		})
+	}
+	sV2 := mk(wire.WireV2)
+	sV3 := mk(wire.WireV3)
+	addrs := []string{sV2.Addr(), sV3.Addr()}
+
+	faults := faultnet.NewDialer(faultnet.Options{
+		Seed:          41,
+		DropAfterMin:  60_000,
+		DropAfterMax:  150_000,
+		CorruptProb:   0.01,
+		PartialWrites: true,
+	}, nil)
+	var conns atomic.Int64
+	policy := testPolicy(9)
+	policy.Dial = func(ctx context.Context, _ string) (net.Conn, error) {
+		n := conns.Add(1)
+		return faults.DialContext(ctx, addrs[int(n)%len(addrs)])
+	}
+
+	rc := wire.NewReconnectingClient(sV2.Addr(), cfg, policy)
+	defer rc.Close()
+	got, err := rc.Profile(context.Background(), trace.FromSlice(accs), wire.ProfileOptions{BatchSize: 2048})
+	if err != nil {
+		t.Fatalf("cross-version profile failed: %v (stats %+v)", err, rc.Stats())
+	}
+	sameWireProfile(t, "cross-version remote vs local", got, want)
+
+	if st := rc.Stats(); st.Reconnects == 0 {
+		t.Errorf("no reconnects despite injected drops (dialer made %d connections)", faults.Conns())
+	}
+	// Both daemons must have carried part of the stream: the session
+	// really did cross wire versions mid-run, not just failed over
+	// between same-version peers.
+	m2, m3 := sV2.MetricsSnapshot(), sV3.MetricsSnapshot()
+	if m2.BatchesTotal == 0 || m3.BatchesTotal == 0 {
+		t.Errorf("stream did not cross versions: v2 server saw %d batches, v3 server saw %d",
+			m2.BatchesTotal, m3.BatchesTotal)
+	}
+}

@@ -44,9 +44,9 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"io"
-	"encoding/binary"
 	"log"
 	"net"
 	"net/http"
@@ -58,6 +58,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpumodel"
 	"repro/internal/mem"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -79,6 +80,11 @@ type Config struct {
 	// MaxBatch is the largest accepted batch, in accesses (default
 	// 1<<20). Larger batches are a protocol error.
 	MaxBatch int
+	// MaxWireVersion caps the wire version negotiated with clients
+	// (default wire.WireV3, the latest). Set to wire.WireV2 to emulate a
+	// pre-columnar server: v3 clients transparently fall back to RDT3
+	// batch framing.
+	MaxWireVersion int
 	// MaxSessions bounds concurrent sessions (default 64); further
 	// opens are refused with a wire error.
 	MaxSessions int
@@ -135,6 +141,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1 << 20
+	}
+	if c.MaxWireVersion < wire.WireV2 || c.MaxWireVersion > wire.WireV3 {
+		c.MaxWireVersion = wire.WireV3
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 64
@@ -435,6 +444,15 @@ func (s *Server) unregister(id uint64) {
 	}
 }
 
+// Connection-buffer pools: sessions come and go, but their bufio
+// buffers (256 KiB read + 64 KiB write) recirculate — without this,
+// every session costs two large allocations that show up as per-session
+// allocation creep at pool scale.
+var (
+	connReaderPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 256<<10) }}
+	connWriterPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, 64<<10) }}
+)
+
 // handleConn owns one connection: the open (or resume) handshake
 // inline, then the reader/runner goroutine pair, then the disconnect
 // checkpoint if the session did not finish.
@@ -442,8 +460,12 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 
-	br := bufio.NewReaderSize(conn, 256<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
+	br := connReaderPool.Get().(*bufio.Reader)
+	br.Reset(conn)
+	defer connReaderPool.Put(br)
+	bw := connWriterPool.Get().(*bufio.Writer)
+	bw.Reset(conn)
+	defer connWriterPool.Put(bw)
 	reject := func(err error) {
 		s.armWrite(conn)
 		wire.WriteFrame(bw, wire.FrameError, []byte(err.Error()))
@@ -477,6 +499,16 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 
+	// Negotiate the wire version: the minimum of what the client offered
+	// (absent field = the original v2) and what this server allows.
+	wireVer := req.Wire
+	if wireVer < wire.WireV2 {
+		wireVer = wire.WireV2
+	}
+	if wireVer > s.cfg.MaxWireVersion {
+		wireVer = s.cfg.MaxWireVersion
+	}
+
 	var sess *session
 	if req.ResumeToken != "" {
 		sess, err = s.resumeSession(conn, req)
@@ -498,6 +530,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			token:   newSessionToken(),
 		}
 	}
+	sess.wire = wireVer
 	id, retryable, err := s.register(sess)
 	if err != nil {
 		if retryable {
@@ -528,6 +561,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		ResumeSeq:       sess.lastApplied,
 		Done:            sess.completed,
 		CheckpointEvery: s.cfg.CheckpointEvery,
+		Wire:            sess.wire,
 	}); err != nil {
 		return
 	}
@@ -536,11 +570,15 @@ func (s *Server) handleConn(conn net.Conn) {
 	// freeBufs recirculates decoded-batch buffers from the runner back
 	// to the reader: sized one past the queue so a buffer is always
 	// returnable without blocking, and the session's steady state runs
-	// on a fixed set of buffers — zero allocations per batch.
+	// on a fixed set of buffers — zero allocations per batch. freeCols
+	// is its v3 analogue for columnar scratch. Both seed from (and drain
+	// back to) process-wide pools, so the buffers outlive the session
+	// and back-to-back sessions stop allocating them afresh.
 	freeBufs := make(chan []mem.Access, s.cfg.QueueDepth+2)
+	freeCols := make(chan *trace.Columns, s.cfg.QueueDepth+2)
 	runnerDone := make(chan struct{})
-	go s.readLoop(sess, br, queue, freeBufs, runnerDone)
-	s.runLoop(sess, bw, queue, freeBufs)
+	go s.readLoop(sess, br, queue, freeBufs, freeCols, runnerDone)
+	s.runLoop(sess, bw, queue, freeBufs, freeCols)
 	// Unblock a reader stuck enqueueing if the runner bailed early
 	// (reply write failed); otherwise it would hold its batch forever.
 	close(runnerDone)
@@ -549,8 +587,21 @@ func (s *Server) handleConn(conn net.Conn) {
 	for it := range queue {
 		if it.kind == itemBatch {
 			s.metrics.pipelineDepth.Add(-1)
+			wire.PutColumns(it.cols)
 		}
 	}
+	// Return the session's recirculating scratch to the global pools.
+	for {
+		select {
+		case buf := <-freeBufs:
+			putBatchBuf(buf)
+		case c := <-freeCols:
+			wire.PutColumns(c)
+		default:
+			goto drained
+		}
+	}
+drained:
 	// The reader and runner are both done with the profiler now; a
 	// disconnect checkpoint lets the client resume mid-stream. (It runs
 	// before the deferred unregister frees the token, so a racing
@@ -650,12 +701,43 @@ func (s *Server) armWrite(conn net.Conn) {
 }
 
 // item is one unit of session work, produced by the reader and
-// consumed by the runner.
+// consumed by the runner. A batch carries either a row-wise slice (v2)
+// or columnar scratch (v3), never both.
 type item struct {
 	kind  itemKind
-	batch []mem.Access
-	seq   uint64 // itemBatch: the batch's sequence number
-	err   error  // itemFail: the protocol error to report
+	batch []mem.Access   // itemBatch, v2 framing
+	cols  *trace.Columns // itemBatch, v3 framing
+	seq   uint64         // itemBatch: the batch's sequence number
+	err   error          // itemFail: the protocol error to report
+}
+
+// batchBufPool recirculates decoded-batch buffers across sessions: a
+// session's freeBufs ring seeds from here and drains back at teardown,
+// so buffer capacity (grown to the stream's batch size) survives
+// session churn instead of being reallocated per session. Within a
+// session the buffers travel the freeBufs ring and never touch the
+// pool, so the header box allocated on put is a per-session cost, not a
+// per-batch one.
+var batchBufPool sync.Pool // stores *[]mem.Access
+
+// getBatchBuf returns an empty batch buffer with whatever capacity it
+// grew to in an earlier session, or nil when the pool is empty (the
+// decode below grows it).
+func getBatchBuf() []mem.Access {
+	if bp, _ := batchBufPool.Get().(*[]mem.Access); bp != nil {
+		return (*bp)[:0]
+	}
+	return nil
+}
+
+// putBatchBuf returns a batch buffer to the pool.
+func putBatchBuf(buf []mem.Access) {
+	if cap(buf) == 0 {
+		return
+	}
+	bp := new([]mem.Access)
+	*bp = buf[:0]
+	batchBufPool.Put(bp)
 }
 
 // readLoop decodes frames into the session queue. It is the only
@@ -669,7 +751,7 @@ type item struct {
 // the wire package's pooled buffers and go back the moment decoding
 // ends, and decode targets are recirculated batch buffers the runner
 // returns through freeBufs after execution.
-func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, freeBufs <-chan []mem.Access, runnerDone <-chan struct{}) {
+func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, freeBufs <-chan []mem.Access, freeCols <-chan *trace.Columns, runnerDone <-chan struct{}) {
 	defer close(queue)
 	enqueue := func(it item) bool {
 		select {
@@ -695,8 +777,10 @@ func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, fr
 			var scratch []mem.Access
 			select {
 			case scratch = <-freeBufs:
-			default: // ring empty: the decode below allocates a fresh one
+			default: // ring empty: seed from the cross-session pool
+				scratch = getBatchBuf()
 			}
+			s.metrics.batchBytes.Add(uint64(len(payload)))
 			batch, seq, err := wire.DecodeBatchInto(scratch[:0], payload)
 			wire.PutPayload(payload)
 			if err != nil {
@@ -711,6 +795,39 @@ func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, fr
 			s.metrics.pipelineDepth.Add(1)
 			if !enqueue(item{kind: itemBatch, batch: batch, seq: seq}) {
 				s.metrics.pipelineDepth.Add(-1)
+				return
+			}
+		case wire.FrameBatchV3:
+			if sess.wire < wire.WireV3 {
+				wire.PutPayload(payload)
+				enqueue(item{kind: itemFail, err: fmt.Errorf("batch-v3 frame on a wire v%d session", sess.wire)})
+				return
+			}
+			var cols *trace.Columns
+			select {
+			case cols = <-freeCols:
+			default: // ring empty: seed from the cross-session pool
+				cols = wire.GetColumns()
+			}
+			cols.Reset()
+			s.metrics.batchBytes.Add(uint64(len(payload)))
+			seq, err := wire.DecodeColumnsInto(cols, payload)
+			wire.PutPayload(payload)
+			if err != nil {
+				wire.PutColumns(cols)
+				enqueue(item{kind: itemFail, err: fmt.Errorf("corrupt batch: %w", err)})
+				return
+			}
+			if cols.Len() > s.cfg.MaxBatch {
+				wire.PutColumns(cols)
+				enqueue(item{kind: itemFail, err: fmt.Errorf("batch of %d accesses exceeds max %d", cols.Len(), s.cfg.MaxBatch)})
+				return
+			}
+			s.metrics.noteQueueDepth(len(queue) + 1)
+			s.metrics.pipelineDepth.Add(1)
+			if !enqueue(item{kind: itemBatch, cols: cols, seq: seq}) {
+				s.metrics.pipelineDepth.Add(-1)
+				wire.PutColumns(cols)
 				return
 			}
 		case wire.FrameSync:
@@ -745,7 +862,7 @@ const errorLinger = 2 * time.Second
 // answers snapshots and syncs, and emits the final result. It is the
 // only writer on bw after the open handshake, and every reply write
 // runs under the configured write deadline.
-func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item, freeBufs chan<- []mem.Access) {
+func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item, freeBufs chan<- []mem.Access, freeCols chan<- *trace.Columns) {
 	fail := func(err error) {
 		s.armWrite(sess.conn)
 		wire.WriteFrame(bw, wire.FrameError, []byte(err.Error()))
@@ -753,13 +870,23 @@ func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item, fre
 		sess.conn.SetReadDeadline(time.Now().Add(errorLinger))
 		io.Copy(io.Discard, sess.conn)
 	}
-	// recycle returns a consumed batch buffer to the reader's ring. The
-	// ring is sized so this never blocks; a buffer it can't take (the
-	// reader allocated extras while the ring was empty) goes to the GC.
-	recycle := func(buf []mem.Access) {
+	// recycle returns a consumed batch's scratch (row buffer or columns)
+	// to the reader's ring. The rings are sized so this never blocks; a
+	// buffer they can't take (the reader drew extras while a ring was
+	// empty) goes back to the cross-session pool.
+	recycle := func(it item) {
+		if it.cols != nil {
+			select {
+			case freeCols <- it.cols:
+			default:
+				wire.PutColumns(it.cols)
+			}
+			return
+		}
 		select {
-		case freeBufs <- buf:
+		case freeBufs <- it.batch:
 		default:
+			putBatchBuf(it.batch)
 		}
 	}
 	for it := range queue {
@@ -770,7 +897,7 @@ func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item, fre
 			// The client is gone; executing its leftovers would be
 			// work nobody reads.
 			s.metrics.droppedBatches.Add(1)
-			recycle(it.batch)
+			recycle(it)
 			continue
 		}
 		switch it.kind {
@@ -779,7 +906,7 @@ func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item, fre
 				// Already executed before a reconnect; the resume
 				// replay is discarded, so re-delivery is idempotent.
 				s.metrics.replayedBatches.Add(1)
-				recycle(it.batch)
+				recycle(it)
 				continue
 			}
 			if it.seq != sess.lastApplied+1 {
@@ -790,14 +917,20 @@ func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item, fre
 				fail(fmt.Errorf("session already finished"))
 				return
 			}
+			var n int
 			s.sem <- struct{}{}
-			sess.machine.Execute(it.batch)
+			if it.cols != nil {
+				n = it.cols.Len()
+				sess.machine.ExecuteColumns(it.cols)
+			} else {
+				n = len(it.batch)
+				sess.machine.Execute(it.batch)
+			}
 			if s.cfg.StepDelay > 0 {
 				time.Sleep(s.cfg.StepDelay)
 			}
 			<-s.sem
-			n := len(it.batch)
-			recycle(it.batch)
+			recycle(it)
 			sess.lastApplied = it.seq
 			sess.sinceCkpt++
 			sess.accesses.Store(sess.machine.Account().Accesses)

@@ -20,6 +20,7 @@ type session struct {
 	conn    net.Conn
 	prof    *core.Profiler
 	machine *cpu.Machine
+	wire    int // negotiated wire version for this connection
 
 	// Fault-tolerance state, owned by the runner goroutine.
 	token       string // resume token handed to the client at open

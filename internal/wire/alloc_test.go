@@ -72,7 +72,7 @@ func TestPayloadPoolClasses(t *testing.T) {
 		}
 		PutPayload(buf)
 	}
-	PutPayload(nil)               // no-op
+	PutPayload(nil)              // no-op
 	PutPayload(make([]byte, 99)) // foreign capacity: ignored
 	gets1, _ := PoolStats()
 	if gets1 <= gets0 {

@@ -35,8 +35,13 @@ type Client struct {
 	// RDT3 encoder writing into it; together they make a steady-state
 	// SendBatch allocation-free (the payload buffer and the encoder's
 	// internals are reused across batches).
-	sw      sliceWriter
-	enc     trace.Writer
+	sw  sliceWriter
+	enc trace.Writer
+	// cols is the columnar scratch for v3 batch encoding, reused across
+	// batches.
+	cols    trace.Columns
+	maxWire int // highest wire version to offer (0 = latest)
+	wire    int // negotiated wire version (valid once opened)
 	opened  bool
 	done    bool
 	reply   OpenReply
@@ -85,10 +90,31 @@ func (c *Client) Resume(cfg core.Config, token string, lastAcked uint64) (OpenRe
 	return c.open(OpenRequest{Config: cfg, ResumeToken: token, LastAcked: lastAcked})
 }
 
+// SetMaxWireVersion caps the wire version the client offers at open
+// (default: the latest, WireV3). Must be called before Open/Resume.
+// Values outside [WireV2, WireV3] reset to the default.
+func (c *Client) SetMaxWireVersion(v int) {
+	if v < WireV2 || v > WireV3 {
+		v = 0
+	}
+	c.maxWire = v
+}
+
+// WireVersion reports the wire version negotiated at open (0 before).
+func (c *Client) WireVersion() int { return c.wire }
+
+func (c *Client) offerWire() int {
+	if c.maxWire == 0 {
+		return WireV3
+	}
+	return c.maxWire
+}
+
 func (c *Client) open(req OpenRequest) (OpenReply, error) {
 	if c.opened {
 		return OpenReply{}, fmt.Errorf("wire: session already open")
 	}
+	req.Wire = c.offerWire()
 	if err := c.send(FrameOpen, marshalJSON(req)); err != nil {
 		return OpenReply{}, err
 	}
@@ -98,6 +124,13 @@ func (c *Client) open(req OpenRequest) (OpenReply, error) {
 	}
 	if err := json.Unmarshal(payload, &c.reply); err != nil {
 		return OpenReply{}, fmt.Errorf("wire: decoding open reply: %w", err)
+	}
+	c.wire = c.reply.Wire
+	if c.wire == 0 {
+		c.wire = WireV2 // pre-negotiation server: original framing
+	}
+	if c.wire < WireV2 || c.wire > c.offerWire() {
+		return OpenReply{}, fmt.Errorf("wire: server chose version %d, client offered up to %d", c.reply.Wire, c.offerWire())
 	}
 	c.opened = true
 	c.nextSeq = c.reply.ResumeSeq + 1
@@ -122,11 +155,19 @@ func (c *Client) SendBatch(accs []mem.Access) error {
 	if len(accs) == 0 {
 		return nil
 	}
-	payload, err := c.encodeBatch(c.nextSeq, accs)
+	ft := FrameBatch
+	var payload []byte
+	var err error
+	if c.wire >= WireV3 {
+		ft = FrameBatchV3
+		payload, err = c.encodeColumns(c.nextSeq, accs)
+	} else {
+		payload, err = c.encodeBatch(c.nextSeq, accs)
+	}
 	if err != nil {
 		return err
 	}
-	if err := c.send(FrameBatch, payload); err != nil {
+	if err := c.send(ft, payload); err != nil {
 		return err
 	}
 	c.nextSeq++
@@ -191,6 +232,9 @@ type ProfileOptions struct {
 	// (0 = never) and passes it to OnSnapshot.
 	SnapshotEvery int
 	OnSnapshot    func(*Result)
+	// MaxWireVersion caps the wire version offered at open (0 = latest).
+	// Set to WireV2 to force the uncompressed RDT3 batch framing.
+	MaxWireVersion int
 }
 
 // Profile streams r through a fresh session end to end: Open, batched
@@ -200,6 +244,9 @@ func (c *Client) Profile(r trace.Reader, cfg core.Config, opts ProfileOptions) (
 	batch := opts.BatchSize
 	if batch <= 0 {
 		batch = trace.DefaultBatchSize
+	}
+	if opts.MaxWireVersion != 0 {
+		c.SetMaxWireVersion(opts.MaxWireVersion)
 	}
 	if _, err := c.Open(cfg); err != nil {
 		return nil, err
@@ -269,6 +316,16 @@ func (c *Client) encodeBatch(seq uint64, accs []mem.Access) ([]byte, error) {
 		return nil, err
 	}
 	return c.sw.buf, nil
+}
+
+// encodeColumns encodes the v3 columnar batch payload into the client's
+// reusable scratch. The returned slice is valid until the next encode.
+func (c *Client) encodeColumns(seq uint64, accs []mem.Access) ([]byte, error) {
+	c.cols.Reset()
+	c.cols.AppendBatch(accs)
+	var err error
+	c.sw.buf, err = EncodeColumns(c.sw.buf, seq, &c.cols)
+	return c.sw.buf, err
 }
 
 // send writes one frame and flushes, so server-side backpressure

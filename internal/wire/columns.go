@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Wire protocol versions negotiated at FrameOpen. A client advertises
+// the highest version it speaks in OpenRequest.Wire; the server answers
+// with the version the session will use in OpenReply.Wire (the minimum
+// of the two sides' maxima). Version 2 is the original RDT3 batch
+// framing (FrameBatch); version 3 adds compressed columnar batches
+// (FrameBatchV3). Absent fields decode as 0 and mean version 2, so the
+// negotiation is transparently backward compatible.
+const (
+	WireV2 = 2
+	WireV3 = 3
+)
+
+// Column encoding tags carried in a v3 column section header. Address
+// and PC columns use delta or delta-of-delta; the meta column uses raw
+// or run-length. The encoder produces both candidates and keeps the
+// smaller, so irregular streams never regress past plain delta.
+const (
+	colEncDelta = 0x00 // per-value delta, zig-zag varint
+	colEncDoD   = 0x01 // zero-run delta-of-delta
+	colEncRaw   = 0x00 // meta bytes verbatim
+	colEncRLE   = 0x01 // (value, run-length uvarint) pairs
+)
+
+// colSectionHdr is a column section's fixed prefix: encoding tag byte,
+// 4-byte big-endian data length, 4-byte big-endian crc32 (IEEE, over
+// tag + data).
+const colSectionHdr = 9
+
+// columnsHdrBytes is the v3 payload's fixed prefix: 8-byte sequence
+// number + 4-byte access count, both big-endian.
+const columnsHdrBytes = batchSeqBytes + 4
+
+// MaxColumnBatch bounds the access count a v3 payload may declare. The
+// zero-run encodings let a few bytes describe millions of values, so —
+// unlike v2, where every access costs stream bytes — the count must be
+// bounded independently of the payload size to stop a corrupt or
+// hostile header from ballooning column scratch.
+const MaxColumnBatch = 1 << 22
+
+// colCRC is the checksum carried in a column section header: IEEE crc32
+// over the tag byte followed by the column data (reusing the frame
+// layer's precomputed one-byte prefix states).
+func colCRC(tag byte, data []byte) uint32 {
+	return crc32.Update(typeCRCs[tag], crc32.IEEETable, data)
+}
+
+// EncodeColumns resets dst and appends a v3 batch payload: the sequence
+// number and access count, then the address, PC and meta column
+// sections. Each section carries its own encoding tag, length and
+// crc32, so a decoder localizes corruption to a column. Address and PC
+// sections are encoded both ways (delta and delta-of-delta) and the
+// smaller wins; the meta section picks raw or RLE the same way.
+// Steady-state encoding into a reused dst allocates nothing.
+func EncodeColumns(dst []byte, seq uint64, cols *trace.Columns) ([]byte, error) {
+	if cols.Len() > MaxColumnBatch {
+		return dst, fmt.Errorf("wire: columnar batch of %d accesses exceeds limit %d", cols.Len(), MaxColumnBatch)
+	}
+	dst = dst[:0]
+	// Reserve the worst case up front — header, three section headers,
+	// both candidate address encodings held at once (≤ ~21 bytes per
+	// value each while the winner is picked) plus the meta column — so a
+	// cold encode buffer pays one allocation instead of append-doubling
+	// its way up on every new connection.
+	if worst := columnsHdrBytes + 3*colSectionHdr + cols.Len()*(2*2*21+2); cap(dst) < worst {
+		dst = make([]byte, 0, worst)
+	}
+	var hdr [columnsHdrBytes]byte
+	binary.BigEndian.PutUint64(hdr[:batchSeqBytes], seq)
+	binary.BigEndian.PutUint32(hdr[batchSeqBytes:], uint32(cols.Len()))
+	dst = append(dst, hdr[:]...)
+	dst = appendAddrSection(dst, cols.Addrs)
+	dst = appendAddrSection(dst, cols.PCs)
+	dst = appendMetaSection(dst, cols.Meta)
+	return dst, nil
+}
+
+// appendAddrSection appends one address-valued column section, encoding
+// the values both as plain deltas and as zero-run delta-of-deltas into
+// dst's tail and keeping whichever came out smaller (the loser is
+// sliced off, or the winner slid over it — an overlapping copy, which
+// Go's copy handles).
+func appendAddrSection(dst []byte, vals []mem.Addr) []byte {
+	off := len(dst)
+	var hdr [colSectionHdr]byte
+	dst = append(dst, hdr[:]...)
+	body := off + colSectionHdr
+	dst = trace.AppendDeltaColumn(dst, vals)
+	deltaLen := len(dst) - body
+	tag := byte(colEncDelta)
+	// Try the delta-of-delta candidate in the tail, giving up as soon as
+	// it outgrows the delta encoding already in hand — irregular streams
+	// pay only for the losing prefix.
+	if dod, ok := trace.AppendDoDColumnMax(dst, vals, deltaLen-1); ok {
+		dodLen := len(dod) - body - deltaLen
+		tag = colEncDoD
+		copy(dod[body:], dod[body+deltaLen:])
+		dst = dod[:body+dodLen]
+	} else {
+		dst = dod // truncated back to the delta encoding, capacity kept
+	}
+	return finishSection(dst, off, tag)
+}
+
+// appendMetaSection appends the meta column section, run-length encoded
+// unless the raw bytes are no larger.
+func appendMetaSection(dst []byte, meta []byte) []byte {
+	off := len(dst)
+	var hdr [colSectionHdr]byte
+	dst = append(dst, hdr[:]...)
+	body := off + colSectionHdr
+	dst = trace.AppendRLEColumn(dst, meta)
+	tag := byte(colEncRLE)
+	if len(dst)-body >= len(meta) {
+		tag = colEncRaw
+		dst = append(dst[:body], meta...)
+	}
+	return finishSection(dst, off, tag)
+}
+
+// finishSection backfills the section header reserved at off: tag,
+// data length, crc over tag + data.
+func finishSection(dst []byte, off int, tag byte) []byte {
+	data := dst[off+colSectionHdr:]
+	dst[off] = tag
+	binary.BigEndian.PutUint32(dst[off+1:], uint32(len(data)))
+	binary.BigEndian.PutUint32(dst[off+5:], colCRC(tag, data))
+	return dst
+}
+
+// DecodeColumnsInto decodes a v3 batch payload, appending the accesses
+// to cols (callers reuse one Columns value, Reset between batches) and
+// returning the batch's sequence number. Each column's crc32 is
+// verified before its data is interpreted, and every structural
+// violation — truncated sections, unknown encoding tags, columns that
+// decode to the wrong count, trailing bytes — is a descriptive error.
+// Decoding into columns that have grown to the session's steady batch
+// size allocates nothing.
+func DecodeColumnsInto(cols *trace.Columns, payload []byte) (uint64, error) {
+	if len(payload) < columnsHdrBytes {
+		return 0, fmt.Errorf("wire: columnar payload of %d bytes lacks its %d-byte header", len(payload), columnsHdrBytes)
+	}
+	seq := binary.BigEndian.Uint64(payload)
+	count := binary.BigEndian.Uint32(payload[batchSeqBytes:])
+	if count > MaxColumnBatch {
+		return seq, fmt.Errorf("wire: columnar batch declares %d accesses, limit %d", count, MaxColumnBatch)
+	}
+	// Build the whole batch's scratch up front: the count is declared, so
+	// cold columns pay one allocation each instead of append-doubling.
+	// The MaxColumnBatch bound above keeps a hostile count from turning
+	// this into a huge speculative allocation.
+	cols.Grow(int(count) - cols.Len())
+	rest := payload[columnsHdrBytes:]
+	var err error
+	if cols.Addrs, rest, err = decodeAddrSection(cols.Addrs, rest, int(count), "address"); err != nil {
+		return seq, err
+	}
+	if cols.PCs, rest, err = decodeAddrSection(cols.PCs, rest, int(count), "pc"); err != nil {
+		return seq, err
+	}
+	if cols.Meta, rest, err = decodeMetaSection(cols.Meta, rest, int(count)); err != nil {
+		return seq, err
+	}
+	if len(rest) > 0 {
+		return seq, fmt.Errorf("wire: %d trailing bytes after columnar batch", len(rest))
+	}
+	return seq, nil
+}
+
+// splitSection parses one column section header off data, verifies the
+// crc, and returns the tag, the column bytes and the remainder.
+func splitSection(data []byte, name string) (byte, []byte, []byte, error) {
+	if len(data) < colSectionHdr {
+		return 0, nil, nil, fmt.Errorf("wire: %s column cut off inside its section header", name)
+	}
+	tag := data[0]
+	n := binary.BigEndian.Uint32(data[1:])
+	want := binary.BigEndian.Uint32(data[5:])
+	if uint64(n) > uint64(len(data)-colSectionHdr) {
+		return 0, nil, nil, fmt.Errorf("wire: %s column of %d bytes overruns its frame", name, n)
+	}
+	col := data[colSectionHdr : colSectionHdr+int(n)]
+	if got := colCRC(tag, col); got != want {
+		return 0, nil, nil, fmt.Errorf("wire: %s column checksum mismatch (corrupt stream)", name)
+	}
+	return tag, col, data[colSectionHdr+int(n):], nil
+}
+
+func decodeAddrSection(dst []mem.Addr, data []byte, count int, name string) ([]mem.Addr, []byte, error) {
+	tag, col, rest, err := splitSection(data, name)
+	if err != nil {
+		return dst, data, err
+	}
+	switch tag {
+	case colEncDelta:
+		dst, err = trace.DecodeDeltaColumn(dst, col, count)
+	case colEncDoD:
+		dst, err = trace.DecodeDoDColumn(dst, col, count)
+	default:
+		return dst, data, fmt.Errorf("wire: %s column has unknown encoding %#x", name, tag)
+	}
+	if err != nil {
+		return dst, data, fmt.Errorf("wire: %s column: %w", name, err)
+	}
+	return dst, rest, nil
+}
+
+func decodeMetaSection(dst []byte, data []byte, count int) ([]byte, []byte, error) {
+	tag, col, rest, err := splitSection(data, "meta")
+	if err != nil {
+		return dst, data, err
+	}
+	switch tag {
+	case colEncRaw:
+		if len(col) != count {
+			return dst, data, fmt.Errorf("wire: raw meta column of %d bytes, want %d", len(col), count)
+		}
+		dst = append(dst, col...)
+	case colEncRLE:
+		dst, err = trace.DecodeRLEColumn(dst, col, count)
+		if err != nil {
+			return dst, data, fmt.Errorf("wire: meta column: %w", err)
+		}
+	default:
+		return dst, data, fmt.Errorf("wire: meta column has unknown encoding %#x", tag)
+	}
+	return dst, rest, nil
+}

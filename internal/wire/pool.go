@@ -3,6 +3,8 @@ package wire
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // Frame payload buffer pool. Payloads are short-lived — read, decoded,
@@ -81,4 +83,27 @@ func PutPayload(buf []byte) {
 // 1 - misses/gets is exported by rdxd's /metrics as pool_hit_rate.
 func PoolStats() (gets, misses uint64) {
 	return poolGets.Load(), poolMisses.Load()
+}
+
+// Columnar scratch pool. A v3 session decodes every batch into one
+// Columns value; pooling them lets sessions come and go without paying
+// the three column allocations per session, the per-session analogue of
+// the payload pool. Get counts feed the same hit-rate metric.
+var columnsPool = sync.Pool{New: func() any { poolMisses.Add(1); return new(trace.Columns) }}
+
+// GetColumns returns an empty Columns scratch whose columns retain the
+// capacity they grew to in earlier use. Return it with PutColumns.
+func GetColumns() *trace.Columns {
+	poolGets.Add(1)
+	c := columnsPool.Get().(*trace.Columns)
+	c.Reset()
+	return c
+}
+
+// PutColumns returns a Columns scratch to the pool once nothing
+// references its columns. Nil is a no-op.
+func PutColumns(c *trace.Columns) {
+	if c != nil {
+		columnsPool.Put(c)
+	}
 }

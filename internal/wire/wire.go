@@ -78,6 +78,10 @@ const (
 	// the session and acknowledge the last executed batch sequence
 	// number; empty payload. The reply is FrameAck.
 	FrameSync FrameType = 0x05
+	// FrameBatchV3 (client→server) carries one access batch in the v3
+	// columnar encoding (see EncodeColumns); only valid on sessions that
+	// negotiated wire version 3 at open.
+	FrameBatchV3 FrameType = 0x06
 
 	// FrameOpenOK (server→client) acknowledges FrameOpen; payload
 	// OpenReply.
@@ -113,6 +117,8 @@ func (t FrameType) String() string {
 		return "finish"
 	case FrameSync:
 		return "sync"
+	case FrameBatchV3:
+		return "batch-v3"
 	case FrameOpenOK:
 		return "open-ok"
 	case FrameResult:
@@ -294,6 +300,10 @@ type OpenRequest struct {
 	Config      core.Config `json:"config"`
 	ResumeToken string      `json:"resume_token,omitempty"`
 	LastAcked   uint64      `json:"last_acked,omitempty"`
+	// Wire is the highest wire version the client speaks (0 means the
+	// original version 2). The server answers with the version the
+	// session will use in OpenReply.Wire.
+	Wire int `json:"wire,omitempty"`
 }
 
 // OpenReply is the payload of FrameOpenOK: the session id, the server's
@@ -318,6 +328,11 @@ type OpenReply struct {
 	// CheckpointEvery is the server's periodic checkpoint interval in
 	// batches (0 = only on disconnect), a hint for client sync cadence.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Wire is the wire version this session will use: the minimum of the
+	// client's and server's maxima (0 means the original version 2).
+	// Negotiation is per connection, so a session resumed against a
+	// different server may continue at a different version.
+	Wire int `json:"wire,omitempty"`
 }
 
 // RetryAfter is the payload of FrameRetryAfter: the server refused to

@@ -37,6 +37,15 @@ go test -run='^TestPoolE2EFaultsAndBackendDeath$' -count=1 ./internal/pool
 echo "==> fuzz smoke (wire decoders, 10s each)"
 go test -run='^$' -fuzz='^FuzzReadFrame$' -fuzztime=10s ./internal/wire
 go test -run='^$' -fuzz='^FuzzDecodeBatch$' -fuzztime=10s ./internal/wire
+go test -run='^$' -fuzz='^FuzzDecodeColumns$' -fuzztime=10s ./internal/wire
+
+# Wire-compression regression gate: the strided workload's v3
+# compression ratio is re-measured and held against the baseline
+# committed in BENCH_server.json. The columnar encoding is
+# deterministic, so any drop beyond the 5% batch-boundary tolerance is
+# a real encoder regression.
+echo "==> wire compression gate (strided v3 vs BENCH_server.json)"
+go run ./cmd/rdexper -n 1048576 -compress-check BENCH_server.json
 
 # Bench smoke: one iteration of the committed benchmark set, without
 # -race (allocation counts and throughput are meaningless under it).
