@@ -53,6 +53,8 @@ func main() {
 		retry       = flag.Int("retry", 0, "with -remote: survive connection faults with up to N consecutive reconnect attempts (0 = no retry)")
 		dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "with -remote: timeout for each connection attempt")
 		maxWire     = flag.Int("max-wire-version", 3, "with -remote: highest wire protocol version to offer (2 = uncompressed RDT3 batches, 3 = compressed columnar batches)")
+		mrcOut      = flag.Bool("mrc", false, "print the profile's predicted miss-ratio curve over cache size")
+		whatIf      = flag.String("whatif", "", "answer a cache what-if question (e.g. \"l2.size=2x\", \"l1.ways=4,llc.size=64MiB\") against the typical three-level hierarchy")
 		list        = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
@@ -129,6 +131,16 @@ func main() {
 	res := rdx.ResultToRemote(local)
 
 	out := jsonResult{Source: source, Remote: *remote, RemoteResult: res}
+	if *mrcOut {
+		out.MRC = local.MissRatioCurve(rdx.SizeSweep{})
+	}
+	if *whatIf != "" {
+		rep, err := local.WhatIf(rdx.TypicalHierarchy(), *whatIf, rdx.SizeSweep{})
+		if err != nil {
+			fatal(err)
+		}
+		out.WhatIf = rep
+	}
 	if *runExact {
 		gt, err := rdx.Exact(openStream(), g)
 		if err != nil {
@@ -182,6 +194,13 @@ func printReport(out jsonResult, pairs int) {
 		}
 	}
 
+	if out.MRC != nil {
+		fmt.Printf("\npredicted miss-ratio curve:\n%s", out.MRC)
+	}
+	if out.WhatIf != nil {
+		fmt.Printf("\n%s", out.WhatIf)
+	}
+
 	if out.Accuracy != nil {
 		fmt.Printf("\nground-truth reuse-distance histogram (%d distinct blocks):\n%s",
 			out.DistinctBlocks, out.GroundTruth)
@@ -197,9 +216,12 @@ type jsonResult struct {
 	// Remote is the rdxd address, or "" for an in-process run.
 	Remote string `json:"remote,omitempty"`
 	*rdx.RemoteResult
-	Accuracy       *float64       `json:"accuracy,omitempty"`
-	GroundTruth    *rdx.Histogram `json:"ground_truth,omitempty"`
-	DistinctBlocks uint64         `json:"distinct_blocks,omitempty"`
+	// MRC and WhatIf are the optional cache analyses (-mrc, -whatif).
+	MRC            *rdx.MissRatioCurve `json:"mrc,omitempty"`
+	WhatIf         *rdx.WhatIfReport   `json:"whatif,omitempty"`
+	Accuracy       *float64            `json:"accuracy,omitempty"`
+	GroundTruth    *rdx.Histogram      `json:"ground_truth,omitempty"`
+	DistinctBlocks uint64              `json:"distinct_blocks,omitempty"`
 }
 
 func writeJSONFile(path string, out jsonResult) error {

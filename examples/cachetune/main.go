@@ -1,9 +1,12 @@
-// cachetune shows RDX guiding a real optimization decision: choosing the
-// blocking factor of a tiled matrix multiply. It profiles the multiply's
-// address stream at several block sizes, predicts each variant's miss
-// ratio for an L2-sized cache from the RDX histogram, and picks the
-// winner — the workflow a performance engineer would run on a production
-// binary where exhaustive tracing is unaffordable.
+// cachetune shows RDX guiding a real optimization decision: choosing
+// the blocking factor of a tiled matrix multiply. It profiles the
+// multiply's address stream at several block sizes, predicts each
+// variant's behavior across a full cache hierarchy — per-level miss
+// ratios folded into one average memory access time — and picks the
+// winner. A closing what-if asks whether doubling the L2 would have
+// bought as much as the software fix: the workflow a performance
+// engineer runs on a production binary where exhaustive tracing and
+// simulator sweeps are unaffordable.
 package main
 
 import (
@@ -15,18 +18,35 @@ import (
 	"repro/internal/trace"
 )
 
+// hierarchy is the tuning target: a scaled three-level machine sized so
+// a few-hundred-KiB matmul working set exercises every level.
+func hierarchy() []rdx.CacheLevel {
+	return []rdx.CacheLevel{
+		{Name: "L1", Config: rdx.CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8}},
+		{Name: "L2", Config: rdx.CacheConfig{SizeBytes: 256 << 10, LineBytes: 64, Ways: 8}},
+		{Name: "L3", Config: rdx.CacheConfig{SizeBytes: 2 << 20, LineBytes: 64, Ways: 0}},
+	}
+}
+
+// Modelled hit latencies per level and for memory, in cycles.
+var (
+	levelLatency = []float64{4, 14, 40}
+	memLatency   = 200.0
+)
+
 func main() {
 	matrixN := flag.Int("matrix", 192, "matrix dimension N (three NxN float64 matrices)")
-	cacheWords := flag.Uint64("cachewords", 32<<10, "target cache capacity in 8-byte words (32K words = 256KiB)")
 	flag.Parse()
 
 	cfg := rdx.DefaultConfig()
 	cfg.SamplePeriod = 4 << 10
 
-	fmt.Printf("tuning %dx%d matmul for a %d-word LRU cache\n\n", *matrixN, *matrixN, *cacheWords)
-	fmt.Printf("%-8s %-12s %-12s\n", "block", "pred. miss%", "reuse pairs")
+	fmt.Printf("tuning %dx%d matmul over a 3-level hierarchy (L1 32KiB / L2 256KiB / L3 2MiB)\n\n",
+		*matrixN, *matrixN)
+	fmt.Printf("%-8s %-10s %-10s %-10s %-10s\n", "block", "L1 miss%", "L2 miss%", "L3 miss%", "AMAT")
 
-	best, bestMiss := 0, 1.1
+	best, bestAMAT := 0, 0.0
+	var bestRes *rdx.Result
 	for _, bs := range []int{8, 16, 32, 64, 128, *matrixN} {
 		if bs > *matrixN {
 			continue
@@ -36,14 +56,22 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		miss := rdx.PredictMissRatio(res.ReuseDistance, *cacheWords)
+		pred, err := res.PredictHierarchy(hierarchy())
+		if err != nil {
+			log.Fatal(err)
+		}
+		amat, err := pred.AMAT(levelLatency, memLatency)
+		if err != nil {
+			log.Fatal(err)
+		}
 		label := fmt.Sprintf("%d", bs)
 		if bs == *matrixN {
 			label = "none"
 		}
-		fmt.Printf("%-8s %-12.2f %-12d\n", label, 100*miss, res.ReusePairs)
-		if miss < bestMiss {
-			bestMiss, best = miss, bs
+		fmt.Printf("%-8s %-10.2f %-10.2f %-10.2f %-10.1f\n", label,
+			100*pred.Levels[0].Local, 100*pred.Levels[1].Local, 100*pred.Levels[2].Local, amat)
+		if best == 0 || amat < bestAMAT {
+			bestAMAT, best, bestRes = amat, bs, res
 		}
 	}
 
@@ -51,5 +79,13 @@ func main() {
 	if best == *matrixN {
 		label = "no blocking"
 	}
-	fmt.Printf("\nrecommendation: %s (predicted miss ratio %.2f%%)\n", label, 100*bestMiss)
+	fmt.Printf("\nrecommendation: %s (modelled AMAT %.1f cycles)\n", label, bestAMAT)
+
+	// Would hardware have fixed it instead? Ask the best variant's
+	// profile directly — no new profiling run needed.
+	rep, err := bestRes.WhatIf(hierarchy(), "l2.size=2x", rdx.SizeSweep{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s", rep)
 }

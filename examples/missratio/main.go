@@ -29,12 +29,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("miss-ratio curve for %s (from one RDX profile of %d accesses)\n\n", *name, *n)
-	fmt.Printf("%-16s %-12s %-12s\n", "capacity(words)", "predicted%", "simulated%")
-	for _, words := range []uint64{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20} {
-		pred := rdx.PredictMissRatio(res.ReuseDistance, words)
+	// The whole curve from one profile: log-spaced capacities, miss
+	// ratio at each, monotone by construction.
+	curve := res.MissRatioCurve(rdx.SizeSweep{MinLines: 1 << 8, MaxLines: 1 << 20})
+	fmt.Printf("miss-ratio curve for %s (from one RDX profile of %d accesses)\n\n%s\n",
+		*name, *n, curve)
 
-		// Validate against a real LRU simulation at word grain.
+	// Spot-check selected capacities against a real LRU simulation at
+	// word grain; curve.At interpolates between the sampled points.
+	fmt.Printf("%-16s %-12s %-12s\n", "capacity(words)", "predicted%", "simulated%")
+	for _, words := range []uint64{1 << 10, 1 << 14, 1 << 18} {
 		stream, err := rdx.Workload(*name, 1, *n)
 		if err != nil {
 			log.Fatal(err)
@@ -47,7 +51,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-16d %-12.2f %-12.2f\n", words, 100*pred, 100*sim)
+		fmt.Printf("%-16d %-12.2f %-12.2f\n", words, 100*curve.At(words), 100*sim)
 	}
 	fmt.Println("\n(predicted: stack-distance identity on the RDX histogram;")
 	fmt.Println(" simulated: fully associative LRU reference)")

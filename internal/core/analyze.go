@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mrc"
+)
+
+// BlockBytes returns the byte size of the measurement blocks this
+// result's distances are expressed in (its configured granularity).
+func (r *Result) BlockBytes() uint64 { return r.Config.Granularity.BlockSize() }
+
+// MissRatioCurve builds the profile's miss-ratio curve via the
+// stack-distance identity on the reuse-distance histogram, sampled over
+// the sweep (zero Sweep selects defaults covering the observed
+// distances).
+func (r *Result) MissRatioCurve(sweep mrc.Sweep) *mrc.Curve {
+	return mrc.FromHistogram(r.ReuseDistance, r.BlockBytes(), sweep)
+}
+
+// MissRatioCurveSmooth builds the miss-ratio curve from the fitted
+// average-footprint model instead of the bucketed histogram, so coarse
+// histograms still yield smooth curves. Falls back to MissRatioCurve
+// when the result carries no footprint model.
+func (r *Result) MissRatioCurveSmooth(sweep mrc.Sweep) *mrc.Curve {
+	if r.Footprint == nil {
+		return r.MissRatioCurve(sweep)
+	}
+	return mrc.FromFootprint(r.Footprint, r.BlockBytes(), sweep)
+}
+
+// PredictCache predicts the profile's miss ratio on one set-associative
+// (or, with Ways 0, fully associative) LRU cache.
+func (r *Result) PredictCache(cfg cache.Config) (float64, error) {
+	return mrc.PredictCache(r.ReuseDistance, cfg, r.BlockBytes())
+}
+
+// PredictHierarchy predicts local and global miss ratios for a
+// multi-level cache hierarchy (innermost level first).
+func (r *Result) PredictHierarchy(specs []cache.LevelSpec) (*mrc.HierarchyPrediction, error) {
+	return mrc.PredictLevels(r.ReuseDistance, specs, r.BlockBytes())
+}
+
+// WhatIf answers a cache what-if question ("l2.size=2x") against a base
+// hierarchy from this profile, without re-profiling: base and modified
+// hierarchy predictions plus the profile's miss-ratio curve.
+func (r *Result) WhatIf(base []cache.LevelSpec, spec string, sweep mrc.Sweep) (*mrc.Report, error) {
+	if r.ReuseDistance == nil {
+		return nil, fmt.Errorf("core: result has no reuse-distance histogram")
+	}
+	return mrc.WhatIf(r.ReuseDistance, r.BlockBytes(), base, spec, sweep)
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cpumodel"
 	"repro/internal/exact"
 	"repro/internal/mem"
+	"repro/internal/mrc"
 	"repro/internal/trace"
 )
 
@@ -160,12 +161,47 @@ func (o Options) RunEngineBench() (*EngineBenchResult, error) {
 		par.SpeedupVsRef = par.AccessesSec / seq.AccessesSec
 	}
 
-	res.Rows = []EngineBenchRow{fast, ref, seq, par}
+	// Curve-construction throughput: how fast the analysis layer turns a
+	// measured reuse-distance histogram into a full miss-ratio curve.
+	// The row's unit is curve constructions, not accesses.
+	mrcRow, err := o.runMRCBench()
+	if err != nil {
+		return nil, err
+	}
+
+	res.Rows = []EngineBenchRow{fast, ref, seq, par, mrcRow}
 	for _, r := range res.Rows {
 		fmt.Fprintf(o.out(), "%-26s %12d accesses  %8.3fs  %14.0f accesses/sec  %s\n",
 			r.Name, r.Accesses, r.Seconds, r.AccessesSec, speedupNote(r))
 	}
 	return res, nil
+}
+
+// runMRCBench times miss-ratio-curve construction from a profiled
+// reuse-distance histogram. Counted in curves built, not accesses: the
+// histogram is log-bucketed, so construction cost is independent of the
+// profile's length — this row guards the analysis layer's constant.
+func (o Options) runMRCBench() (EngineBenchRow, error) {
+	cfg := core.DefaultConfig()
+	cfg.SamplePeriod = o.Period
+	cfg.Seed = o.Seed
+	p, err := core.NewProfiler(cfg)
+	if err != nil {
+		return EngineBenchRow{}, err
+	}
+	n := min(o.Accesses, 4<<20)
+	res, err := p.Run(trace.ZipfAccess(o.Seed, 0, 1<<16, 1.0, n), cpumodel.Default())
+	if err != nil {
+		return EngineBenchRow{}, err
+	}
+	const curves = 5000
+	sweep := mrc.Sweep{}
+	return timeRun("mrc-curve-construction", curves, func() error {
+		for range curves {
+			mrc.FromHistogram(res.ReuseDistance, res.Config.Granularity.BlockSize(), sweep)
+		}
+		return nil
+	})
 }
 
 func speedupNote(r EngineBenchRow) string {

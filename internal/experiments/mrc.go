@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/exact"
+	"repro/internal/histogram"
+	"repro/internal/mem"
+	"repro/internal/mrc"
+	"repro/internal/report"
+)
+
+// mrcWorkloads are the canonical differential pair: pointer-chasing
+// (mcf) and streaming (lbm) stress opposite ends of the curve — a broad
+// reuse spectrum vs an almost-pure cold stream.
+var mrcWorkloads = []string{"mcf", "lbm"}
+
+// mrcCapacities are the fully-associative differential sizes, in lines.
+var mrcCapacities = []uint64{64, 256, 1024, 4096}
+
+// mrcHierarchy is the scaled three-level configuration the hierarchy
+// differential runs against; small enough that the canonical workloads
+// exercise every level at experiment run lengths.
+func mrcHierarchy() []cache.LevelSpec {
+	return []cache.LevelSpec{
+		{Name: "L1", Config: cache.Config{SizeBytes: 8 << 10, LineBytes: 64, Ways: 4}},
+		{Name: "L2", Config: cache.Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8}},
+		{Name: "L3", Config: cache.Config{SizeBytes: 512 << 10, LineBytes: 64, Ways: 0}},
+	}
+}
+
+// MRCRow is one (workload, capacity) curve-vs-simulation measurement.
+type MRCRow struct {
+	Workload  string
+	Lines     uint64
+	Predicted float64
+	Simulated float64
+	AbsErr    float64
+}
+
+// MRCHierRow is one hierarchy level's predicted vs simulated global
+// miss ratio.
+type MRCHierRow struct {
+	Workload  string
+	Level     string
+	Predicted float64
+	Simulated float64
+	AbsErr    float64
+	// Skipped marks a level whose simulated arrival fraction is too
+	// small for its ratio to be meaningful.
+	Skipped bool
+}
+
+// MRCResult is experiment MRC: the miss-ratio-curve and hierarchy
+// models differentially validated against cache simulation on the
+// canonical workloads, plus curve-construction throughput. The gate is
+// the committed tolerances exported by internal/mrc.
+type MRCResult struct {
+	Rows        []MRCRow
+	HierRows    []MRCHierRow
+	MaxCurveErr float64
+	MaxHierErr  float64
+	// CurvesPerSec is FromHistogram construction throughput on the
+	// measured histograms.
+	CurvesPerSec float64
+}
+
+// RunMRC measures exact line-granularity reuse distances for the
+// canonical workloads, then holds the analytical models against real
+// cache simulation: the fully-associative curve at each capacity
+// (within mrc.TolFullyAssoc) and the three-level hierarchy's global
+// miss ratios (within mrc.TolHierarchy). It fails — and with it the
+// scripts/check.sh gate — if any differential exceeds its committed
+// tolerance.
+func (o Options) RunMRC() (*MRCResult, error) {
+	res := &MRCResult{}
+	var hists []*histogram.Histogram
+
+	tb := report.NewTable("MRC: miss-ratio curve vs cache simulation",
+		"workload", "lines", "predicted", "simulated", "abs err")
+	for _, name := range mrcWorkloads {
+		stream, err := o.buildWorkload(name)
+		if err != nil {
+			return nil, err
+		}
+		gt, err := exact.Measure(stream, mem.LineGranularity)
+		if err != nil {
+			return nil, err
+		}
+		rd := gt.ReuseDistance()
+		hists = append(hists, rd)
+		curve := mrc.FromHistogram(rd, 64, mrc.Sweep{})
+		for _, lines := range mrcCapacities {
+			stream, err := o.buildWorkload(name)
+			if err != nil {
+				return nil, err
+			}
+			sim, err := cache.Simulate(stream, cache.Config{
+				SizeBytes: lines * 64, LineBytes: 64, Ways: 0,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := MRCRow{
+				Workload:  name,
+				Lines:     lines,
+				Predicted: curve.At(lines),
+				Simulated: sim,
+			}
+			row.AbsErr = math.Abs(row.Predicted - row.Simulated)
+			res.Rows = append(res.Rows, row)
+			res.MaxCurveErr = math.Max(res.MaxCurveErr, row.AbsErr)
+			tb.AddRow(row.Workload, row.Lines, row.Predicted, row.Simulated, row.AbsErr)
+		}
+
+		specs := mrcHierarchy()
+		pred, err := mrc.PredictLevels(rd, specs, 64)
+		if err != nil {
+			return nil, err
+		}
+		stream, err = o.buildWorkload(name)
+		if err != nil {
+			return nil, err
+		}
+		simLocals, err := cache.SimulateHierarchy(stream, specs)
+		if err != nil {
+			return nil, err
+		}
+		// Compare global ratios; a level only a sliver of the stream
+		// reaches has a noisy simulated local ratio, so it is reported
+		// but not gated.
+		simReach := 1.0
+		for i, spec := range specs {
+			simGlobal := simReach * simLocals[i]
+			row := MRCHierRow{
+				Workload:  name,
+				Level:     spec.Name,
+				Predicted: pred.Levels[i].Global,
+				Simulated: simGlobal,
+				Skipped:   simReach < 0.02,
+			}
+			row.AbsErr = math.Abs(row.Predicted - row.Simulated)
+			res.HierRows = append(res.HierRows, row)
+			if !row.Skipped {
+				res.MaxHierErr = math.Max(res.MaxHierErr, row.AbsErr)
+			}
+			simReach = simGlobal
+		}
+	}
+	if err := tb.WriteText(o.out()); err != nil {
+		return nil, err
+	}
+
+	htb := report.NewTable("MRC: hierarchy global miss ratios vs simulation",
+		"workload", "level", "predicted", "simulated", "abs err", "gated")
+	for _, r := range res.HierRows {
+		gated := "yes"
+		if r.Skipped {
+			gated = "no (arrival < 2%)"
+		}
+		htb.AddRow(r.Workload, r.Level, r.Predicted, r.Simulated, r.AbsErr, gated)
+	}
+	if err := htb.WriteText(o.out()); err != nil {
+		return nil, err
+	}
+
+	res.CurvesPerSec = curveThroughput(hists)
+	fmt.Fprintf(o.out(), "max curve err %.4f (tol %.2f), max hierarchy err %.4f (tol %.2f), %.0f curves/sec\n",
+		res.MaxCurveErr, mrc.TolFullyAssoc, res.MaxHierErr, mrc.TolHierarchy, res.CurvesPerSec)
+
+	if res.MaxCurveErr > mrc.TolFullyAssoc {
+		return res, fmt.Errorf("experiments: MRC curve error %.4f exceeds tolerance %.2f",
+			res.MaxCurveErr, mrc.TolFullyAssoc)
+	}
+	if res.MaxHierErr > mrc.TolHierarchy {
+		return res, fmt.Errorf("experiments: MRC hierarchy error %.4f exceeds tolerance %.2f",
+			res.MaxHierErr, mrc.TolHierarchy)
+	}
+	return res, nil
+}
+
+// curveThroughput measures FromHistogram constructions per second over
+// the given histograms (round-robin), timed over at least 100ms.
+func curveThroughput(hists []*histogram.Histogram) float64 {
+	if len(hists) == 0 {
+		return 0
+	}
+	sweep := mrc.Sweep{}
+	start := time.Now()
+	n := 0
+	for time.Since(start) < 100*time.Millisecond {
+		for range 16 {
+			mrc.FromHistogram(hists[n%len(hists)], 64, sweep)
+			n++
+		}
+	}
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(n) / el
+}

@@ -30,6 +30,7 @@ var registry = []Experiment{
 	{"A4", "ablation: same-word approximation at line granularity", func(o Options) (any, error) { return o.RunA4() }},
 	{"A5", "ablation: censored-observation redistribution", func(o Options) (any, error) { return o.RunA5() }},
 	{"C1", "case study: use→reuse attribution of a matmul tiling fix", func(o Options) (any, error) { return o.RunC1() }},
+	{"MRC", "miss-ratio curves and what-if models vs cache simulation", func(o Options) (any, error) { return o.RunMRC() }},
 }
 
 // IDs returns all experiment IDs in registry order.

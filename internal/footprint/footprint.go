@@ -182,6 +182,55 @@ func (e *Estimator) Footprint(w uint64) float64 {
 	return fp
 }
 
+// TailFraction returns the fraction of sample weight at reuse times
+// strictly greater than w, counting cold (never reused) samples as
+// greater than every w. Because fp is piecewise linear with slope
+// TailFraction(w) at window length w (each sample with gap > w
+// contributes a full extra distinct block when the window grows by one
+// access), this is the derivative of the average footprint function —
+// the quantity the higher-order theory of locality equates with the
+// miss ratio of the cache size c = fp(w).
+func (e *Estimator) TailFraction(w uint64) float64 {
+	total := e.totalSamples()
+	if total == 0 {
+		return 0
+	}
+	cntBelow, _ := e.countAndSumBelow(w)
+	return (total - cntBelow) / total
+}
+
+// InverseFootprint returns the smallest window length w with fp(w) >= c,
+// or (0, false) when no window reaches c (the program's footprint
+// saturates below c). It is the size-to-window bridge of the footprint
+// theory: the window whose expected distinct-block count fills a cache
+// of c blocks.
+func (e *Estimator) InverseFootprint(c float64) (uint64, bool) {
+	if c <= 1 {
+		return 1, true
+	}
+	// fp is non-decreasing; exponential search for an upper bracket, then
+	// binary search. fp is bounded by max finite time + cold mass share,
+	// so cap the search to avoid spinning on unreachable targets.
+	lo, hi := uint64(1), uint64(2)
+	const maxW = uint64(1) << 62
+	for e.Footprint(hi) < c {
+		if hi >= maxW {
+			return 0, false
+		}
+		lo = hi
+		hi *= 2
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if e.Footprint(mid) >= c {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
 // Distance converts a reuse time T into an expected reuse distance: the
 // distinct blocks in the (T−1)-access window strictly between use and
 // reuse. A reuse time of 1 (back-to-back accesses) has distance 0.

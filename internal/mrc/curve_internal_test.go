@@ -1,0 +1,68 @@
+package mrc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCurveAtInterpolation(t *testing.T) {
+	c := &Curve{BlockBytes: 64}
+	c.appendClamped(4, 0.8)
+	c.appendClamped(16, 0.4)
+	if got := c.At(0); got != 1 {
+		t.Errorf("At(0) = %v, want 1", got)
+	}
+	if got := c.At(2); got != 0.8 {
+		t.Errorf("At below range = %v, want first point", got)
+	}
+	if got := c.At(64); got != 0.4 {
+		t.Errorf("At above range = %v, want last point", got)
+	}
+	if got := c.At(8); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("At(8) = %v, want log-midpoint 0.6", got)
+	}
+	empty := &Curve{}
+	if got := empty.At(10); got != 0 {
+		t.Errorf("empty curve At = %v", got)
+	}
+}
+
+func TestSweepSizes(t *testing.T) {
+	s := Sweep{MinLines: 1, MaxLines: 1024, PointsPerDoubling: 2}.fill(0)
+	sizes := s.sizes()
+	if sizes[0] != 1 || sizes[len(sizes)-1] != 1024 {
+		t.Fatalf("sweep endpoints: %v", sizes)
+	}
+	seen := map[uint64]bool{}
+	for i, v := range sizes {
+		if seen[v] {
+			t.Fatalf("duplicate size %d", v)
+		}
+		seen[v] = true
+		if i > 0 && v <= sizes[i-1] {
+			t.Fatalf("sizes not increasing: %v", sizes)
+		}
+	}
+	for _, pow := range []uint64{1, 2, 4, 256, 1024} {
+		if !seen[pow] {
+			t.Errorf("power-of-two capacity %d missing from sweep %v", pow, sizes)
+		}
+	}
+}
+
+// TestAppendClampedMonotone pins the construction invariant directly:
+// out-of-order ratios are clamped to the running minimum and NaN/out-of-
+// range inputs are normalized.
+func TestAppendClampedMonotone(t *testing.T) {
+	c := &Curve{BlockBytes: 1}
+	c.appendClamped(1, 1.5)
+	c.appendClamped(2, 0.5)
+	c.appendClamped(4, 0.7) // must clamp to 0.5
+	c.appendClamped(8, math.NaN())
+	want := []float64{1, 0.5, 0.5, 0}
+	for i, p := range c.Points {
+		if p.MissRatio != want[i] {
+			t.Errorf("point %d = %v, want %v", i, p.MissRatio, want[i])
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package mrc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/histogram"
+)
+
+// LevelPrediction is one level of a hierarchy prediction.
+type LevelPrediction struct {
+	// Name is the level name from its cache.LevelSpec.
+	Name string `json:"name"`
+	// SizeBytes, LineBytes, Ways echo the level's configuration.
+	SizeBytes uint64 `json:"size_bytes"`
+	LineBytes uint64 `json:"line_bytes"`
+	Ways      int    `json:"ways"`
+	// Local is the level's local miss ratio: the fraction of accesses
+	// reaching this level that miss it.
+	Local float64 `json:"local_miss_ratio"`
+	// Global is the fraction of all accesses that miss this level and
+	// every level above it (the product of local ratios so far).
+	Global float64 `json:"global_miss_ratio"`
+}
+
+// HierarchyPrediction is a full multi-level miss-ratio prediction.
+type HierarchyPrediction struct {
+	// BlockBytes is the measurement granularity of the source histogram.
+	BlockBytes uint64 `json:"block_bytes"`
+	// Levels is ordered from the innermost level outward.
+	Levels []LevelPrediction `json:"levels"`
+}
+
+// TransformMiss derives the reuse-distance histogram of the miss stream
+// a cache level passes to the level below, per the L2-histogram modeling
+// of Ling et al.: an access with reuse distance d reappears in the miss
+// stream with probability pmiss(d) (the level filtered out its hits),
+// while its distance carries through unchanged. The distance of a miss
+// in the filtered stream is the number of distinct gap blocks that also
+// missed the level at least once; since a block's first access inside
+// the gap almost always misses (its own previous use lies outside the
+// gap), that count stays ~d — only the few blocks the level retains
+// across the whole gap (at most its capacity, usually far fewer) drop
+// out. Keeping d is exact for streaming patterns, an upper bound in
+// general, and for fully associative levels reproduces the inclusive
+// identity the repo's reference predictor is validated on:
+// local_2 = (W(d >= max(C1,C2)) + cold) / (W(d >= C1) + cold).
+// Cold accesses miss every level and carry through unchanged.
+func TransformMiss(rd *histogram.Histogram, cfg cache.Config, blockBytes uint64) *histogram.Histogram {
+	if blockBytes == 0 {
+		blockBytes = 1
+	}
+	out := histogram.New()
+	eachBucket(rd, func(d uint64, w float64) {
+		pm := pMiss(d, cfg, blockBytes)
+		if pm <= 0 {
+			return
+		}
+		out.Add(d, w*pm)
+	})
+	if cold := rd.Cold(); cold > 0 {
+		out.Add(histogram.Infinite, cold)
+	}
+	return out
+}
+
+// pMiss is the probability that one access with reuse distance d (in
+// measurement blocks) misses the cache — the per-distance kernel shared
+// by PredictCache and TransformMiss.
+func pMiss(d uint64, cfg cache.Config, blockBytes uint64) float64 {
+	if cfg.Ways == 0 {
+		if d >= faCapacityBlocks(cfg, blockBytes) {
+			return 1
+		}
+		return 0
+	}
+	return setAssocPMiss(d, cfg, blockBytes)
+}
+
+// PredictLevels predicts local and global miss ratios for a multi-level
+// hierarchy from one reuse-distance histogram measured at blockBytes
+// granularity: each level is predicted by the single-cache model on its
+// arrival histogram, then TransformMiss produces the next level's
+// arrival stream. Levels are ordered innermost first, matching
+// cache.SimulateHierarchy.
+func PredictLevels(rd *histogram.Histogram, specs []cache.LevelSpec, blockBytes uint64) (*HierarchyPrediction, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("mrc: hierarchy with no levels")
+	}
+	if blockBytes == 0 {
+		blockBytes = 1
+	}
+	p := &HierarchyPrediction{BlockBytes: blockBytes}
+	arrival := rd
+	reach := 1.0
+	for i, s := range specs {
+		local, err := PredictCache(arrival, s.Config, blockBytes)
+		if err != nil {
+			return nil, fmt.Errorf("mrc: level %s: %w", s.Name, err)
+		}
+		global := reach * local
+		p.Levels = append(p.Levels, LevelPrediction{
+			Name:      s.Name,
+			SizeBytes: s.Config.SizeBytes,
+			LineBytes: s.Config.LineBytes,
+			Ways:      s.Config.Ways,
+			Local:     local,
+			Global:    global,
+		})
+		reach = global
+		if i < len(specs)-1 {
+			arrival = TransformMiss(arrival, s.Config, blockBytes)
+		}
+	}
+	return p, nil
+}
+
+// Locals returns the per-level local miss ratios, in level order —
+// directly comparable to cache.SimulateHierarchy's result.
+func (p *HierarchyPrediction) Locals() []float64 {
+	out := make([]float64, len(p.Levels))
+	for i, l := range p.Levels {
+		out[i] = l.Local
+	}
+	return out
+}
+
+// AMAT computes the average memory access time implied by the
+// prediction, given each level's hit latency and the memory latency
+// (arbitrary units): AMAT = lat_1 + local_1*(lat_2 + local_2*(... +
+// local_n*memLatency)).
+func (p *HierarchyPrediction) AMAT(levelLatency []float64, memLatency float64) (float64, error) {
+	if len(levelLatency) != len(p.Levels) {
+		return 0, fmt.Errorf("mrc: %d latencies for %d levels", len(levelLatency), len(p.Levels))
+	}
+	cost := memLatency
+	for i := len(p.Levels) - 1; i >= 0; i-- {
+		cost = levelLatency[i] + p.Levels[i].Local*cost
+	}
+	return cost, nil
+}
+
+// String renders the prediction as an aligned text table.
+func (p *HierarchyPrediction) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %12s %6s %6s %10s %10s\n", "level", "size", "ways", "line", "local%", "global%")
+	for _, l := range p.Levels {
+		ways := fmt.Sprintf("%d", l.Ways)
+		if l.Ways == 0 {
+			ways = "full"
+		}
+		fmt.Fprintf(&sb, "%-6s %12d %6s %6d %9.2f%% %9.2f%%\n",
+			l.Name, l.SizeBytes, ways, l.LineBytes, 100*l.Local, 100*l.Global)
+	}
+	return sb.String()
+}

@@ -31,6 +31,7 @@ type metrics struct {
 	shedRequests     atomic.Uint64 // opens answered with retry-after
 	checkpointsTotal atomic.Uint64 // checkpoints taken
 	checkpointBytes  atomic.Uint64 // cumulative checkpoint blob bytes
+	whatifRequests   atomic.Uint64 // POST /whatif analysis queries
 
 	rateMu       sync.Mutex
 	accessRate   float64 // accesses/sec over the last sample window
@@ -123,6 +124,7 @@ type Metrics struct {
 	ShedRequests     uint64 `json:"shed_requests"`
 	CheckpointsTotal uint64 `json:"checkpoints_total"`
 	CheckpointBytes  uint64 `json:"checkpoint_bytes"`
+	WhatIfRequests   uint64 `json:"whatif_requests"`
 }
 
 // MetricsSnapshot assembles the current metrics, including the
@@ -185,5 +187,6 @@ func (s *Server) MetricsSnapshot() Metrics {
 		ShedRequests:     m.shedRequests.Load(),
 		CheckpointsTotal: m.checkpointsTotal.Load(),
 		CheckpointBytes:  m.checkpointBytes.Load(),
+		WhatIfRequests:   m.whatifRequests.Load(),
 	}
 }

@@ -252,6 +252,7 @@ func New(cfg Config) (*Server, error) {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/healthz", s.handleHealthz)
 		mux.HandleFunc("/metrics", s.handleMetrics)
+		mux.HandleFunc("/whatif", s.handleWhatIf)
 		if cfg.EnablePprof {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,75 @@
+package rdx
+
+import (
+	"context"
+
+	"repro/internal/cache"
+	"repro/internal/mrc"
+)
+
+// Cache-analysis vocabulary, re-exported from internal/mrc and
+// internal/cache: miss-ratio curves, set-associative and multi-level
+// predictions, and the what-if engine, all driven by a profile's
+// reuse-distance histogram — no re-profiling.
+type (
+	// MissRatioCurve is a predicted miss ratio as a function of cache
+	// size, sampled at log-spaced capacities.
+	MissRatioCurve = mrc.Curve
+	// MissRatioPoint is one sampled cache size on a curve.
+	MissRatioPoint = mrc.Point
+	// SizeSweep configures a curve's cache-size sweep; the zero value
+	// selects defaults covering the observed distances.
+	SizeSweep = mrc.Sweep
+	// CacheConfig describes one cache: capacity, line size,
+	// associativity (Ways 0 = fully associative).
+	CacheConfig = cache.Config
+	// CacheLevel names one level of a cache hierarchy.
+	CacheLevel = cache.LevelSpec
+	// HierarchyPrediction is a multi-level miss-ratio prediction.
+	HierarchyPrediction = mrc.HierarchyPrediction
+	// LevelPrediction is one level of a HierarchyPrediction.
+	LevelPrediction = mrc.LevelPrediction
+	// WhatIfReport answers one cache what-if question: base and
+	// modified hierarchy predictions plus the profile's curve.
+	WhatIfReport = mrc.Report
+)
+
+// TypicalHierarchy returns a contemporary three-level cache
+// configuration (32KiB/8-way L1, 1MiB/16-way L2, 32MiB fully
+// associative LLC, 64-byte lines) — the default base for what-if
+// questions.
+func TypicalHierarchy() []CacheLevel { return cache.TypicalHierarchy() }
+
+// ParseWhatIf parses a what-if specification ("l2.size=2x",
+// "l1.ways=4,llc.size=64MiB") against a base hierarchy and returns the
+// modified hierarchy. See the rdx -whatif flag and the rdxd POST
+// /whatif endpoint for the same syntax over the wire.
+func ParseWhatIf(spec string, base []CacheLevel) ([]CacheLevel, error) {
+	return mrc.ParseSpec(spec, base)
+}
+
+// MissRatio profiles the stream under the session's configuration and
+// returns its miss-ratio curve over cache size. For the curve of an
+// existing profile, use Result.MissRatioCurve (histogram-based) or
+// Result.MissRatioCurveSmooth (footprint-based) directly.
+func (s *Session) MissRatio(ctx context.Context, r Reader, sweep SizeSweep) (*MissRatioCurve, error) {
+	res, err := s.Profile(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	return res.MissRatioCurve(sweep), nil
+}
+
+// WhatIf profiles the stream and answers a cache what-if question
+// against a base hierarchy (TypicalHierarchy when base is nil). For an
+// existing profile, use Result.WhatIf.
+func (s *Session) WhatIf(ctx context.Context, r Reader, base []CacheLevel, spec string, sweep SizeSweep) (*WhatIfReport, error) {
+	res, err := s.Profile(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	if base == nil {
+		base = TypicalHierarchy()
+	}
+	return res.WhatIf(base, spec, sweep)
+}

@@ -37,12 +37,12 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cpumodel"
 	"repro/internal/exact"
 	"repro/internal/histogram"
 	"repro/internal/mem"
+	"repro/internal/mrc"
 	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/workloads"
@@ -280,8 +280,14 @@ func WorkloadNames() []string { return workloads.Names() }
 // PredictMissRatio predicts the miss ratio of a fully associative LRU
 // cache of capacity `blocks` (in measurement-granularity blocks) from a
 // reuse-distance histogram.
+//
+// Deprecated: this is the single point a MissRatioCurve samples; use
+// Result.MissRatioCurve / Session.MissRatio for the whole curve, or
+// Result.PredictCache for set-associative and multi-level predictions.
+// This wrapper delegates to the curve primitive and returns bit-identical
+// values.
 func PredictMissRatio(rd *Histogram, blocks uint64) float64 {
-	return cache.PredictMissRatio(rd, blocks)
+	return mrc.StackMissRatio(rd, blocks)
 }
 
 // Stream generator re-exports: build custom profiled programs without

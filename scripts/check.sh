@@ -47,6 +47,13 @@ go test -run='^$' -fuzz='^FuzzDecodeColumns$' -fuzztime=10s ./internal/wire
 echo "==> wire compression gate (strided v3 vs BENCH_server.json)"
 go run ./cmd/rdexper -n 1048576 -compress-check BENCH_server.json
 
+# MRC differential gate: the analytical miss-ratio curve and hierarchy
+# models are re-validated against real cache simulation on the two
+# canonical workloads (mcf, lbm); the experiment itself fails if any
+# prediction drifts beyond the tolerances committed in internal/mrc.
+echo "==> MRC differential gate (curve and hierarchy vs simulation)"
+go run ./cmd/rdexper -n 524288 -period 1024 -exp MRC
+
 # Bench smoke: one iteration of the committed benchmark set, without
 # -race (allocation counts and throughput are meaningless under it).
 # Catches a benchmark that no longer compiles or crashes outright; the
