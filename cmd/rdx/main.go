@@ -29,9 +29,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/ctrl"
 	"repro/internal/trace"
 )
 
@@ -56,6 +58,9 @@ func main() {
 		mrcOut      = flag.Bool("mrc", false, "print the profile's predicted miss-ratio curve over cache size")
 		whatIf      = flag.String("whatif", "", "answer a cache what-if question (e.g. \"l2.size=2x\", \"l1.ways=4,llc.size=64MiB\") against the typical three-level hierarchy")
 		list        = flag.Bool("list", false, "list available workloads and exit")
+		drain       = flag.String("drain", "", "control verb: drain the rdxd at this admin address (migrating its sessions to -to) and wait until it is empty, then exit")
+		drainTo     = flag.String("to", "", "with -drain: comma-separated migration destinations, each \"addr\" or \"addr=adminaddr\"; empty stops new sessions but migrates nothing")
+		drainWait   = flag.Duration("drain-wait", time.Minute, "with -drain: how long to wait for the backend to empty")
 	)
 	flag.Parse()
 
@@ -63,6 +68,22 @@ func main() {
 		for _, name := range rdx.WorkloadNames() {
 			fmt.Println(name)
 		}
+		return
+	}
+
+	if *drain != "" {
+		var targets []string
+		for _, t := range strings.Split(*drainTo, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targets = append(targets, t)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := ctrl.DrainBackend(ctx, *drain, targets, 0); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("drained %s: zero live sessions\n", *drain)
 		return
 	}
 

@@ -8,11 +8,16 @@
 //	rdxd [-addr 127.0.0.1:9127] [-admin 127.0.0.1:9128] [-workers 4]
 //	     [-queue-depth 8] [-max-sessions 64] [-drain-timeout 30s]
 //	     [-checkpoint-dir /var/lib/rdxd] [-checkpoint-every 64]
-//	     [-read-timeout 5m] [-write-timeout 1m] [-pprof]
+//	     [-read-timeout 5m] [-write-timeout 1m] [-admin-timeout 10s]
+//	     [-pprof]
 //
 // SIGTERM or SIGINT drains the daemon: new sessions are refused,
 // in-flight sessions get -drain-timeout to finish, stragglers are cut
-// off. /healthz reports 503 from the moment draining starts.
+// off. /healthz reports 503 from the moment draining starts. POST
+// /drain on the admin listener drains live instead: each session is
+// migrated to another backend by checkpoint handover and its client is
+// redirected there (see `rdx -drain`); POST /migrate moves sessions
+// for load rebalancing without draining.
 //
 // Sessions are checkpointed (at open, every -checkpoint-every batches,
 // on client sync, and on disconnect) so interrupted clients can resume
@@ -47,6 +52,7 @@ func main() {
 		ckptEvery    = flag.Int("checkpoint-every", 64, "checkpoint each session every N batches (negative disables periodic checkpoints)")
 		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-frame read deadline; idle connections past it are dropped and resumable (negative disables)")
 		writeTimeout = flag.Duration("write-timeout", time.Minute, "per-frame write deadline for replies (negative disables)")
+		adminTimeout = flag.Duration("admin-timeout", 10*time.Second, "end-to-end deadline for each admin API request; a stalled admin client is cut off (negative disables)")
 		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the admin listener")
 	)
 	flag.Parse()
@@ -63,6 +69,7 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		ReadTimeout:     *readTimeout,
 		WriteTimeout:    *writeTimeout,
+		AdminTimeout:    *adminTimeout,
 		EnablePprof:     *pprofOn,
 	})
 	if err != nil {
@@ -76,7 +83,7 @@ func main() {
 		if *pprofOn {
 			extra = ", /debug/pprof/"
 		}
-		log.Printf("rdxd: admin on http://%s (/healthz, /metrics%s)", a, extra)
+		log.Printf("rdxd: admin on http://%s (/healthz, /metrics, /whatif, /drain, /migrate%s)", a, extra)
 	}
 
 	sig := make(chan os.Signal, 1)

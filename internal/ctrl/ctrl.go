@@ -1,0 +1,498 @@
+// Package ctrl is the control plane over a fleet of rdxd backends: a
+// coordinator that owns session→backend placement policy above the
+// pool's mechanics. The pool decides where each new stream goes (least
+// loaded wins) and fails over when a backend dies; the coordinator
+// decides which backends are in the set at all — admitting new ones
+// mid-run, draining hot ones live (migrate every session off, then
+// retire), rebalancing when load skews — and enforces per-tenant
+// session quotas on the way in.
+//
+// The division of labor keeps both sides simple: the coordinator only
+// ever talks to backend admin endpoints (/drain, /migrate, /metrics)
+// and to the pool's membership methods (AddBackend, MarkDraining). It
+// never touches a session. Migration itself — checkpoint handover, the
+// client redirect, ack preservation — is the server's and the wire
+// client's business; see the server package's migration protocol.
+// Because profiling is deterministic in (stream, config), nothing the
+// coordinator does can change results, only where they are computed.
+package ctrl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/internal/trace"
+)
+
+// Options tunes a Coordinator. The zero value uses defaults.
+type Options struct {
+	// DrainPoll is the cadence at which a drain re-orders migrations
+	// and re-checks the draining backend's session count (default
+	// 200ms).
+	DrainPoll time.Duration
+	// ProbeTimeout bounds each admin HTTP call (default 2s).
+	ProbeTimeout time.Duration
+	// MaxSessionsPerTenant caps concurrent sessions per tenant across
+	// the whole fleet (default 0 = unlimited). Acquisitions beyond the
+	// cap fail fast rather than queue.
+	MaxSessionsPerTenant int
+	// RebalanceThreshold is the minimum load gap (hottest minus
+	// coldest, by the /metrics load gauge) before Rebalance orders
+	// migrations (default 4).
+	RebalanceThreshold int64
+	// HTTPClient overrides the admin transport (default: a client with
+	// ProbeTimeout).
+	HTTPClient *http.Client
+	// Logf receives coordinator diagnostics (default: silent).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.DrainPoll <= 0 {
+		o.DrainPoll = 200 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.RebalanceThreshold <= 0 {
+		o.RebalanceThreshold = 4
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// MemberState is a backend's lifecycle state in the coordinator's view.
+type MemberState int
+
+const (
+	// Active members receive new sessions.
+	Active MemberState = iota
+	// Draining members are being emptied; no new sessions.
+	Draining
+	// Retired members have drained to zero sessions and left the fleet.
+	Retired
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Draining:
+		return "draining"
+	case Retired:
+		return "retired"
+	default:
+		return fmt.Sprintf("MemberState(%d)", int(s))
+	}
+}
+
+// Member is one backend plus its lifecycle state.
+type Member struct {
+	Backend pool.Backend
+	State   MemberState
+}
+
+// Coordinator owns backend membership and placement policy for one
+// pool. Safe for concurrent use.
+type Coordinator struct {
+	opts  Options
+	pool  *pool.Pool
+	httpc *http.Client
+
+	mu      sync.Mutex
+	members []*Member
+	tenants map[string]int // live sessions per tenant
+}
+
+// New builds a coordinator over a pool and the backends the pool was
+// created with (states start Active).
+func New(p *Pool, backends []pool.Backend, opts Options) *Coordinator {
+	opts.fill()
+	c := &Coordinator{
+		opts:    opts,
+		pool:    p,
+		tenants: make(map[string]int),
+	}
+	c.httpc = opts.HTTPClient
+	if c.httpc == nil {
+		c.httpc = &http.Client{Timeout: opts.ProbeTimeout}
+	}
+	for _, b := range backends {
+		c.members = append(c.members, &Member{Backend: b, State: Active})
+	}
+	return c
+}
+
+// Pool is re-exported so callers constructing a coordinator need not
+// import both packages for the one type.
+type Pool = pool.Pool
+
+// Status snapshots the fleet membership.
+func (c *Coordinator) Status() []Member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Member, len(c.members))
+	for i, m := range c.members {
+		out[i] = *m
+	}
+	return out
+}
+
+// Admit adds a backend to the fleet mid-run: the pool can route new
+// sessions (and failovers) to it immediately, and drains can use it as
+// a migration destination. Admitting a known address reactivates it.
+func (c *Coordinator) Admit(b pool.Backend) {
+	c.mu.Lock()
+	for _, m := range c.members {
+		if m.Backend.Addr == b.Addr {
+			m.State = Active
+			c.mu.Unlock()
+			c.pool.AddBackend(b)
+			return
+		}
+	}
+	c.members = append(c.members, &Member{Backend: b, State: Active})
+	c.mu.Unlock()
+	c.pool.AddBackend(b)
+	c.opts.Logf("ctrl: admitted backend %s", b.Addr)
+}
+
+// activeTargets returns every Active member except the one at addr, as
+// "addr=admin" migration target specs.
+func (c *Coordinator) activeTargets(except string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ts []string
+	for _, m := range c.members {
+		if m.State != Active || m.Backend.Addr == except {
+			continue
+		}
+		ts = append(ts, targetSpec(m.Backend))
+	}
+	return ts
+}
+
+func targetSpec(b pool.Backend) string {
+	if b.Admin != "" {
+		return b.Addr + "=" + b.Admin
+	}
+	return b.Addr
+}
+
+// Drain empties a backend live and retires it: new sessions stop
+// routing there at once, every live session is migrated to the
+// remaining Active members via checkpoint handover, and the call
+// returns when the backend reports zero live sessions (or ctx
+// expires). The drain order is re-issued every DrainPoll — sessions
+// whose handoff failed transiently, and sessions that reconnected
+// between polls, get re-ordered until the backend is empty. If the
+// backend dies mid-drain, Drain returns its error; the sessions it
+// still held recover through the normal failover path (resume
+// elsewhere via pool re-dispatch), so nothing is lost either way.
+func (c *Coordinator) Drain(ctx context.Context, addr string) error {
+	m := c.findMember(addr)
+	if m == nil {
+		return fmt.Errorf("ctrl: no member %s", addr)
+	}
+	if m.Backend.Admin == "" {
+		return fmt.Errorf("ctrl: member %s has no admin address to drain through", addr)
+	}
+	c.setState(addr, Draining)
+	c.pool.MarkDraining(addr)
+
+	targets := c.activeTargets(addr)
+	if len(targets) == 0 {
+		return fmt.Errorf("ctrl: no active member to migrate %s's sessions to", addr)
+	}
+	t := time.NewTicker(c.opts.DrainPoll)
+	defer t.Stop()
+	for {
+		if err := c.postDrain(ctx, m.Backend.Admin, targets); err != nil {
+			return fmt.Errorf("ctrl: draining %s: %w", addr, err)
+		}
+		n, err := c.sessionsActive(ctx, m.Backend.Admin)
+		if err != nil {
+			return fmt.Errorf("ctrl: draining %s: %w", addr, err)
+		}
+		if n == 0 {
+			c.setState(addr, Retired)
+			c.opts.Logf("ctrl: backend %s drained and retired", addr)
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("ctrl: draining %s: %d sessions still live: %w", addr, n, ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// Rebalance measures the fleet's load spread and, when the gap between
+// the hottest and coldest Active member exceeds RebalanceThreshold,
+// orders the hottest to migrate half the gap to the coldest. One call
+// makes one correction; a caller wanting continuous balance invokes it
+// periodically. Returns the number of migrations ordered (0 = balanced
+// or not enough members).
+func (c *Coordinator) Rebalance(ctx context.Context) (int, error) {
+	type loaded struct {
+		m    *Member
+		load int64
+	}
+	var fleet []loaded
+	c.mu.Lock()
+	members := append([]*Member(nil), c.members...)
+	c.mu.Unlock()
+	for _, m := range members {
+		if m.State != Active || m.Backend.Admin == "" {
+			continue
+		}
+		load, err := c.fetchLoad(ctx, m.Backend.Admin)
+		if err != nil {
+			c.opts.Logf("ctrl: rebalance: skipping %s: %v", m.Backend.Addr, err)
+			continue
+		}
+		fleet = append(fleet, loaded{m, load})
+	}
+	if len(fleet) < 2 {
+		return 0, nil
+	}
+	sort.Slice(fleet, func(i, j int) bool { return fleet[i].load < fleet[j].load })
+	coldest, hottest := fleet[0], fleet[len(fleet)-1]
+	gap := hottest.load - coldest.load
+	if gap < c.opts.RebalanceThreshold {
+		return 0, nil
+	}
+	count := int(gap / 2)
+	if count < 1 {
+		count = 1
+	}
+	ordered, err := c.postMigrate(ctx, hottest.m.Backend.Admin, []string{targetSpec(coldest.m.Backend)}, count)
+	if err != nil {
+		return 0, fmt.Errorf("ctrl: rebalancing %s: %w", hottest.m.Backend.Addr, err)
+	}
+	if ordered > 0 {
+		c.opts.Logf("ctrl: ordered %d migrations %s -> %s (load gap %d)",
+			ordered, hottest.m.Backend.Addr, coldest.m.Backend.Addr, gap)
+	}
+	return ordered, nil
+}
+
+// AcquireSessions reserves n session slots for a tenant, failing fast
+// when the tenant's quota would be exceeded (no quota = always
+// granted). Pair with ReleaseSessions.
+func (c *Coordinator) AcquireSessions(tenant string, n int) error {
+	if c.opts.MaxSessionsPerTenant <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tenants[tenant]+n > c.opts.MaxSessionsPerTenant {
+		return fmt.Errorf("ctrl: tenant %q over session quota: %d live + %d requested > %d",
+			tenant, c.tenants[tenant], n, c.opts.MaxSessionsPerTenant)
+	}
+	c.tenants[tenant] += n
+	return nil
+}
+
+// ReleaseSessions returns a tenant's session slots.
+func (c *Coordinator) ReleaseSessions(tenant string, n int) {
+	if c.opts.MaxSessionsPerTenant <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tenants[tenant] -= n; c.tenants[tenant] <= 0 {
+		delete(c.tenants, tenant)
+	}
+}
+
+// TenantSessions reports a tenant's live session count.
+func (c *Coordinator) TenantSessions(tenant string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tenants[tenant]
+}
+
+// ProfileThreads is the pool's ProfileThreads behind the tenant quota:
+// one session slot per stream for the duration of the run.
+func (c *Coordinator) ProfileThreads(ctx context.Context, tenant string, streams []trace.Reader, cfg core.Config) (*core.MultiResult, error) {
+	if err := c.AcquireSessions(tenant, len(streams)); err != nil {
+		return nil, err
+	}
+	defer c.ReleaseSessions(tenant, len(streams))
+	return c.pool.ProfileThreads(ctx, streams, cfg)
+}
+
+func (c *Coordinator) findMember(addr string) *Member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.members {
+		if m.Backend.Addr == addr || (m.Backend.Admin != "" && m.Backend.Admin == addr) {
+			return m
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) setState(addr string, st MemberState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.members {
+		if m.Backend.Addr == addr || (m.Backend.Admin != "" && m.Backend.Admin == addr) {
+			m.State = st
+			return
+		}
+	}
+}
+
+// postDrain POSTs /drain on a backend's admin address.
+func (c *Coordinator) postDrain(ctx context.Context, admin string, targets []string) error {
+	_, err := postJSON[drainReply](ctx, c.httpc, admin, "/drain", map[string]any{"to": targets})
+	return err
+}
+
+// postMigrate POSTs /migrate and returns the number of migrations the
+// backend ordered.
+func (c *Coordinator) postMigrate(ctx context.Context, admin string, targets []string, count int) (int, error) {
+	rep, err := postJSON[migrateReply](ctx, c.httpc, admin, "/migrate", map[string]any{"to": targets, "count": count})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Ordered, nil
+}
+
+type drainReply struct {
+	Draining bool `json:"draining"`
+	Sessions int  `json:"sessions"`
+	Ordered  int  `json:"ordered"`
+}
+
+type migrateReply struct {
+	Ordered int `json:"ordered"`
+}
+
+// sessionsActive reads a backend's live session count from /metrics.
+func (c *Coordinator) sessionsActive(ctx context.Context, admin string) (int64, error) {
+	m, err := c.fetchMetrics(ctx, admin)
+	if err != nil {
+		return 0, err
+	}
+	return m.SessionsActive, nil
+}
+
+// fetchLoad reads a backend's routing load gauge from /metrics.
+func (c *Coordinator) fetchLoad(ctx context.Context, admin string) (int64, error) {
+	m, err := c.fetchMetrics(ctx, admin)
+	if err != nil {
+		return 0, err
+	}
+	return m.Load, nil
+}
+
+// adminMetrics is the subset of the rdxd /metrics payload the
+// coordinator routes on.
+type adminMetrics struct {
+	Load           int64 `json:"load"`
+	SessionsActive int64 `json:"sessions_active"`
+}
+
+func (c *Coordinator) fetchMetrics(ctx context.Context, admin string) (*adminMetrics, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+admin+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("GET %s/metrics: %s", admin, resp.Status)
+	}
+	var m adminMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// postJSON POSTs a JSON body to an admin endpoint and decodes the
+// JSON reply.
+func postJSON[T any](ctx context.Context, httpc *http.Client, admin, path string, body any) (*T, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+admin+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	reply, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST %s%s: %s: %s", admin, path, resp.Status, bytes.TrimSpace(reply))
+	}
+	var out T
+	if err := json.Unmarshal(reply, &out); err != nil {
+		return nil, fmt.Errorf("POST %s%s: decoding reply: %w", admin, path, err)
+	}
+	return &out, nil
+}
+
+// DrainBackend is the standalone drain verb for cmd/rdx: order admin's
+// backend to drain to the targets and wait until it reports zero live
+// sessions. Used without a coordinator or pool — pure admin RPCs.
+func DrainBackend(ctx context.Context, admin string, targets []string, poll time.Duration) error {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	httpc := &http.Client{Timeout: 5 * time.Second}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		if _, err := postJSON[drainReply](ctx, httpc, admin, "/drain", map[string]any{"to": targets}); err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+admin+"/metrics", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			return err
+		}
+		var m adminMetrics
+		err = json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if m.SessionsActive == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("drain %s: %d sessions still live: %w", admin, m.SessionsActive, ctx.Err())
+		case <-t.C:
+		}
+	}
+}

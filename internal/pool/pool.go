@@ -103,6 +103,16 @@ type Options struct {
 	HealthEvery time.Duration
 	// ProbeTimeout bounds one health probe or load refresh (default 2s).
 	ProbeTimeout time.Duration
+	// DownAfter is the consecutive failed probes before a healthy
+	// backend is marked down (default 2). Session errors still mark a
+	// backend down immediately — a failed session is stronger evidence
+	// than a missed probe.
+	DownAfter int
+	// UpAfter is the consecutive successful probes before a down
+	// backend is readmitted (default 2). The hysteresis pair keeps a
+	// flapping backend — one that answers every other probe — from
+	// oscillating in and out of the dispatch set.
+	UpAfter int
 	// WaitHealthy bounds how long a dispatch waits for any backend to
 	// become healthy with a free slot before giving up (default 15s).
 	WaitHealthy time.Duration
@@ -138,6 +148,12 @@ func (o *Options) fill() {
 	if o.ProbeTimeout <= 0 {
 		o.ProbeTimeout = 2 * time.Second
 	}
+	if o.DownAfter <= 0 {
+		o.DownAfter = 2
+	}
+	if o.UpAfter <= 0 {
+		o.UpAfter = 2
+	}
 	if o.WaitHealthy <= 0 {
 		o.WaitHealthy = 15 * time.Second
 	}
@@ -169,9 +185,15 @@ type backendState struct {
 	Backend
 	idx      int
 	healthy  atomic.Bool
+	draining atomic.Bool  // excluded from dispatch until it probes healthy again
 	reported atomic.Int64 // last /metrics load gauge (0 without admin)
 	sessions atomic.Uint64
 	inflight int // guarded by Pool.mu
+
+	// Probe hysteresis: consecutive same-direction observations needed
+	// before the healthy bit flips (prober goroutine plus markDown).
+	okStreak   atomic.Int32
+	failStreak atomic.Int32
 }
 
 // Pool is a sharded-profiling dispatcher over a set of rdxd backends.
@@ -239,27 +261,89 @@ func (p *Pool) Stats() Stats {
 		Redispatched:  p.redispatched.Load(),
 		ProbeFailures: p.probeFails.Load(),
 	}
-	for _, b := range p.backends {
+	for _, b := range p.snapshotBackends() {
 		s.PerBackend = append(s.PerBackend, b.sessions.Load())
 	}
 	return s
 }
 
 // Healthy reports how many backends the pool currently considers
-// healthy.
+// dispatchable.
 func (p *Pool) Healthy() int {
 	n := 0
-	for _, b := range p.backends {
-		if b.healthy.Load() {
+	for _, b := range p.snapshotBackends() {
+		if b.healthy.Load() && !b.draining.Load() {
 			n++
 		}
 	}
 	return n
 }
 
+// snapshotBackends copies the backend list under the lock; the list is
+// append-only (AddBackend), so the snapshot's entries stay valid.
+func (p *Pool) snapshotBackends() []*backendState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*backendState(nil), p.backends...)
+}
+
+// AddBackend admits a backend to the pool at runtime — elastic scaling:
+// a coordinator brings a daemon up, admits it here, and the next
+// dispatch or failover can route to it. Adding an address the pool
+// already has is a no-op. Returns the backend's index.
+func (p *Pool) AddBackend(b Backend) int {
+	p.mu.Lock()
+	for _, ex := range p.backends {
+		if ex.Addr == b.Addr {
+			idx := ex.idx
+			p.mu.Unlock()
+			return idx
+		}
+	}
+	bs := &backendState{Backend: b, idx: len(p.backends)}
+	bs.healthy.Store(true)
+	p.backends = append(p.backends, bs)
+	idx := bs.idx
+	p.mu.Unlock()
+	p.opts.Logf("pool: backend %d (%s) admitted", idx, b.Addr)
+	p.cond.Broadcast()
+	return idx
+}
+
+// MarkDraining immediately excludes a backend from dispatch, bypassing
+// probe hysteresis — a coordinator calls it the moment it orders a
+// drain, so no new stream races onto a backend that is emptying out.
+// The exclusion lifts when the backend's admin probe reports healthy
+// again (a cancelled drain); backends probed by TCP dial alone stay
+// out, since a dial cannot see drain state. Matches by profiling or
+// admin address; reports whether a backend matched.
+func (p *Pool) MarkDraining(addr string) bool {
+	var target *backendState
+	for _, b := range p.snapshotBackends() {
+		if b.Addr == addr || (b.Admin != "" && b.Admin == addr) {
+			target = b
+			break
+		}
+	}
+	if target == nil {
+		return false
+	}
+	target.draining.Store(true)
+	target.okStreak.Store(0)
+	if target.healthy.Swap(false) {
+		p.opts.Logf("pool: backend %d (%s) draining", target.idx, target.Addr)
+	}
+	p.cond.Broadcast()
+	return true
+}
+
 // probeLoop refreshes backend health and load every HealthEvery, and
 // broadcasts each round so waiting dispatches re-check state (and their
-// contexts) at least that often.
+// contexts) at least that often. Health transitions are hysteretic:
+// DownAfter consecutive failures take a backend out, UpAfter
+// consecutive successes readmit it, so a flapping backend — answering
+// every other probe — settles out of the dispatch set instead of
+// oscillating through it.
 func (p *Pool) probeLoop() {
 	defer close(p.probeDone)
 	t := time.NewTicker(p.opts.HealthEvery)
@@ -270,14 +354,27 @@ func (p *Pool) probeLoop() {
 			return
 		case <-t.C:
 		}
-		for _, b := range p.backends {
-			ok := p.probe(b)
-			was := b.healthy.Swap(ok)
-			if ok != was {
-				p.opts.Logf("pool: backend %d (%s) %s", b.idx, b.Addr, map[bool]string{true: "recovered", false: "down"}[ok])
-			}
-			if !ok {
+		for _, b := range p.snapshotBackends() {
+			if p.probe(b) {
+				b.failStreak.Store(0)
+				if b.Admin != "" {
+					// The admin endpoint answered 200: whatever drain we
+					// were told about is over.
+					b.draining.Store(false)
+				}
+				if !b.healthy.Load() && int(b.okStreak.Add(1)) >= p.opts.UpAfter {
+					b.okStreak.Store(0)
+					b.healthy.Store(true)
+					p.opts.Logf("pool: backend %d (%s) recovered", b.idx, b.Addr)
+				}
+			} else {
 				p.probeFails.Add(1)
+				b.okStreak.Store(0)
+				if b.healthy.Load() && int(b.failStreak.Add(1)) >= p.opts.DownAfter {
+					b.failStreak.Store(0)
+					b.healthy.Store(false)
+					p.opts.Logf("pool: backend %d (%s) down", b.idx, b.Addr)
+				}
 			}
 		}
 		p.cond.Broadcast()
@@ -331,6 +428,7 @@ func (p *Pool) fetchLoad(b *backendState) (int64, error) {
 // markDown records a backend failure observed by a session; the prober
 // re-admits the backend once it answers probes again.
 func (p *Pool) markDown(b *backendState, err error) {
+	b.okStreak.Store(0) // recovery starts from scratch
 	if b.healthy.Swap(false) {
 		p.opts.Logf("pool: backend %d (%s) marked down: %v", b.idx, b.Addr, err)
 	}
@@ -358,7 +456,7 @@ func (p *Pool) acquire(ctx context.Context) (*backendState, error) {
 		}
 		var best *backendState
 		for _, b := range p.backends {
-			if !b.healthy.Load() || b.inflight >= p.opts.MaxInFlight {
+			if !b.healthy.Load() || b.draining.Load() || b.inflight >= p.opts.MaxInFlight {
 				continue
 			}
 			if best == nil || lessLoaded(b, best) {
@@ -459,7 +557,7 @@ func (p *Pool) Profile(ctx context.Context, r trace.Reader, cfg core.Config) (*c
 func (p *Pool) profileStream(ctx context.Context, idx int, r trace.Reader, tcfg core.Config) (*wire.Result, error) {
 	maxRedispatch := p.opts.MaxRedispatch
 	if maxRedispatch <= 0 {
-		maxRedispatch = 2 * len(p.backends)
+		maxRedispatch = 2 * len(p.snapshotBackends())
 	}
 	// rec records every access already handed to a backend, so a stream
 	// whose backend dies mid-session can be replayed from the start on

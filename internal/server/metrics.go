@@ -33,6 +33,13 @@ type metrics struct {
 	checkpointBytes  atomic.Uint64 // cumulative checkpoint blob bytes
 	whatifRequests   atomic.Uint64 // POST /whatif analysis queries
 
+	// Control-plane counters.
+	migrationsOrdered atomic.Uint64 // migration orders delivered to runners
+	handoffsOut       atomic.Uint64 // sessions handed off to another backend
+	handoffsIn        atomic.Uint64 // sessions installed from another backend
+	handoffFailures   atomic.Uint64 // handoff pushes a destination refused
+	movedResumes      atomic.Uint64 // resume attempts answered with a redirect
+
 	rateMu       sync.Mutex
 	accessRate   float64 // accesses/sec over the last sample window
 	lastAccesses uint64
@@ -125,6 +132,13 @@ type Metrics struct {
 	CheckpointsTotal uint64 `json:"checkpoints_total"`
 	CheckpointBytes  uint64 `json:"checkpoint_bytes"`
 	WhatIfRequests   uint64 `json:"whatif_requests"`
+
+	// Control-plane counters: live migration traffic in and out.
+	MigrationsOrdered uint64 `json:"migrations_ordered"`
+	HandoffsOut       uint64 `json:"handoffs_out"`
+	HandoffsIn        uint64 `json:"handoffs_in"`
+	HandoffFailures   uint64 `json:"handoff_failures"`
+	MovedResumes      uint64 `json:"moved_resumes"`
 }
 
 // MetricsSnapshot assembles the current metrics, including the
@@ -188,5 +202,11 @@ func (s *Server) MetricsSnapshot() Metrics {
 		CheckpointsTotal: m.checkpointsTotal.Load(),
 		CheckpointBytes:  m.checkpointBytes.Load(),
 		WhatIfRequests:   m.whatifRequests.Load(),
+
+		MigrationsOrdered: m.migrationsOrdered.Load(),
+		HandoffsOut:       m.handoffsOut.Load(),
+		HandoffsIn:        m.handoffsIn.Load(),
+		HandoffFailures:   m.handoffFailures.Load(),
+		MovedResumes:      m.movedResumes.Load(),
 	}
 }

@@ -1,0 +1,404 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Live session migration: the control-plane half of rdxd.
+//
+// A migration moves one session's complete state — the profiler
+// checkpoint (or a finished session's retained result) — from this
+// backend to another, so the pool can drain a hot backend live, admit
+// new backends mid-run, and rebalance under skew. The handover is
+// strictly ordered for the client's ack safety:
+//
+//  1. The runner reaches a batch boundary and takes a durable local
+//     checkpoint (the anchor: nothing is riskier than before).
+//  2. The checkpoint is pushed to the destination (wire.PushHandoff)
+//     and the destination acknowledges only after its own durable
+//     install.
+//  3. Only then is the token tombstoned and the client redirected
+//     (FrameMoved in-band; or as the answer to a later resume attempt).
+//
+// The handed-over state covers batch sequence numbers up to the
+// migration checkpoint; the client trims its replay buffer to that
+// sequence on resume, exactly as after any reconnect, so no batch is
+// executed twice and none is lost: batches beyond the checkpoint are
+// still in the client's replay buffer because they were never
+// acknowledged. If every destination refuses the handoff, the session
+// simply keeps running here — migration is an optimization, never a
+// correctness risk.
+
+// MigrateTarget names a destination backend for live migration: the
+// wire-protocol address plus the optional admin address advertised to
+// redirected clients (a pool uses it for health probes).
+type MigrateTarget struct {
+	Addr  string `json:"addr"`
+	Admin string `json:"admin,omitempty"`
+}
+
+// ParseMigrateTargets parses destination specs, each "addr" or
+// "addr=adminaddr" — the same element format pool backend lists use.
+func ParseMigrateTargets(specs []string) ([]MigrateTarget, error) {
+	var ts []MigrateTarget
+	for _, spec := range specs {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		addr, admin, _ := strings.Cut(spec, "=")
+		if addr == "" {
+			return nil, fmt.Errorf("server: empty migration target in %q", spec)
+		}
+		ts = append(ts, MigrateTarget{Addr: addr, Admin: admin})
+	}
+	return ts, nil
+}
+
+// maxMovedTombstones bounds the token→destination redirect map; beyond
+// it the oldest tombstones are forgotten (their clients fall back to
+// the pool's full re-dispatch path, which is correct, just slower).
+const maxMovedTombstones = 4096
+
+// recordMoved tombstones a migrated token. The first writer wins: if a
+// concurrent handoff already recorded a destination, that one is
+// returned, so every answer for a token names the same backend.
+func (s *Server) recordMoved(token string, mv wire.Moved) wire.Moved {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.moved[token]; ok {
+		return old
+	}
+	s.moved[token] = mv
+	s.movedOrder = append(s.movedOrder, token)
+	for len(s.moved) > maxMovedTombstones && len(s.movedOrder) > 0 {
+		delete(s.moved, s.movedOrder[0])
+		s.movedOrder = s.movedOrder[1:]
+	}
+	return mv
+}
+
+// lookupMoved reports where a migrated token's session now lives.
+func (s *Server) lookupMoved(token string) (wire.Moved, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mv, ok := s.moved[token]
+	return mv, ok
+}
+
+// movedSessionError carries a migration redirect out of the resume
+// path; handleConn answers it with FrameMoved instead of FrameError.
+type movedSessionError struct{ to wire.Moved }
+
+func (e *movedSessionError) Error() string {
+	return fmt.Sprintf("session moved to %s", e.to.Addr)
+}
+
+// Drain puts the server into drain mode and orders every live session
+// to migrate to one of the targets: new opens are shed, /healthz
+// reports 503, live runners hand their sessions off at the next batch
+// boundary, and resume attempts for retained (disconnected) sessions
+// are answered with an on-demand handoff plus redirect. It returns the
+// number of sessions ordered to move. Draining is idempotent; calling
+// it again re-orders sessions whose earlier handoff failed. With no
+// targets the server just stops admitting work, like the SIGTERM path.
+func (s *Server) Drain(targets []MigrateTarget) int {
+	s.mu.Lock()
+	s.draining = true
+	if len(targets) > 0 {
+		s.drainTo = append([]MigrateTarget(nil), targets...)
+	}
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	if len(targets) == 0 {
+		return 0
+	}
+	ordered := 0
+	for i, sess := range sessions {
+		if s.orderMigration(sess, rotateTargets(targets, i)) {
+			ordered++
+		}
+	}
+	return ordered
+}
+
+// OrderMigrations asks up to count live sessions to migrate to the
+// targets (rebalancing), without entering drain mode. It returns the
+// number of sessions ordered.
+func (s *Server) OrderMigrations(targets []MigrateTarget, count int) int {
+	if len(targets) == 0 || count <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	ordered := 0
+	for i, sess := range sessions {
+		if ordered >= count {
+			break
+		}
+		if s.orderMigration(sess, rotateTargets(targets, i)) {
+			ordered++
+		}
+	}
+	return ordered
+}
+
+// rotateTargets spreads migrations round-robin: session i tries the
+// targets starting at offset i.
+func rotateTargets(targets []MigrateTarget, i int) []MigrateTarget {
+	if len(targets) <= 1 {
+		return targets
+	}
+	off := i % len(targets)
+	out := make([]MigrateTarget, 0, len(targets))
+	out = append(out, targets[off:]...)
+	return append(out, targets[:off]...)
+}
+
+// orderMigration delivers one migration order to a session's runner
+// (non-blocking: an order already pending is not duplicated).
+func (s *Server) orderMigration(sess *session, targets []MigrateTarget) bool {
+	select {
+	case sess.migrate <- migrateOrder{targets: targets}:
+		s.metrics.migrationsOrdered.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// migrateSession executes a migration order on the runner goroutine
+// (the machine is quiescent at a batch boundary): durable local
+// checkpoint, handoff to the first willing target, tombstone, client
+// redirect. It reports whether the session was handed off — true means
+// the runner must exit; false means every target refused and the
+// session keeps running here.
+func (s *Server) migrateSession(sess *session, bw *bufio.Writer, ord migrateOrder) bool {
+	if sess.completed {
+		return false
+	}
+	// Anchor locally first: after this the migration can fail at any
+	// point with nothing lost.
+	if err := s.checkpointSession(sess); err != nil {
+		s.cfg.Logf("rdxd: session %d: migration checkpoint: %v", sess.id, err)
+		return false
+	}
+	blob := sess.prof.Checkpoint()
+	for _, tgt := range ord.targets {
+		err := wire.PushHandoff(context.Background(), s.cfg.HandoffDial, tgt.Addr,
+			wire.HandoffLive, sess.lastApplied, sess.token, blob, s.cfg.HandoffTimeout)
+		if err != nil {
+			s.metrics.handoffFailures.Add(1)
+			s.cfg.Logf("rdxd: session %d: handoff to %s: %v", sess.id, tgt.Addr, err)
+			continue
+		}
+		mv := s.recordMoved(sess.token, wire.Moved{Addr: tgt.Addr, Admin: tgt.Admin, Seq: sess.lastApplied})
+		s.metrics.handoffsOut.Add(1)
+		s.ckpts.drop(sess.token)
+		sess.migrated = true
+		// Best-effort in-band redirect; if the write is lost the client
+		// reconnects here and the tombstone answers the resume.
+		s.armWrite(sess.conn)
+		writeJSONFrame(bw, wire.FrameMoved, mv)
+		sess.conn.Close() // unblocks the reader; the connection is done
+		s.cfg.Logf("rdxd: session %d migrated to %s (state through batch %d)", sess.id, tgt.Addr, sess.lastApplied)
+		return true
+	}
+	return false
+}
+
+// handoffRetained pushes a retained (disconnected or finished) session
+// state to one of the drain targets, on demand, when its client shows
+// up to resume during a drain. Returns the redirect to answer with.
+func (s *Server) handoffRetained(token string, ent *ckptEntry, targets []MigrateTarget) (wire.Moved, bool) {
+	kind, body := wire.HandoffLive, ent.blob
+	if ent.final != nil {
+		kind, body = wire.HandoffFinal, ent.final
+	}
+	for _, tgt := range targets {
+		err := wire.PushHandoff(context.Background(), s.cfg.HandoffDial, tgt.Addr,
+			kind, ent.seq, token, body, s.cfg.HandoffTimeout)
+		if err != nil {
+			s.metrics.handoffFailures.Add(1)
+			s.cfg.Logf("rdxd: resume handoff to %s: %v", tgt.Addr, err)
+			continue
+		}
+		mv := s.recordMoved(token, wire.Moved{Addr: tgt.Addr, Admin: tgt.Admin, Seq: ent.seq})
+		s.metrics.handoffsOut.Add(1)
+		s.ckpts.drop(token)
+		return mv, true
+	}
+	return wire.Moved{}, false
+}
+
+// handleHandoff is the receiving half of a migration: it installs the
+// transferred session state durably and acknowledges. It owns payload
+// (a pooled frame buffer) and releases it.
+func (s *Server) handleHandoff(conn net.Conn, bw *bufio.Writer, payload []byte) {
+	reject := func(err error) {
+		s.armWrite(conn)
+		wire.WriteFrame(bw, wire.FrameError, []byte(err.Error()))
+		bw.Flush()
+	}
+	kind, seq, token, body, err := wire.DecodeHandoff(payload)
+	if err != nil {
+		wire.PutPayload(payload)
+		reject(err)
+		return
+	}
+	if !validToken(token) {
+		wire.PutPayload(payload)
+		reject(fmt.Errorf("malformed handoff token"))
+		return
+	}
+	// The body outlives the pooled frame buffer: copy it out.
+	state := append([]byte(nil), body...)
+	wire.PutPayload(payload)
+
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		reject(fmt.Errorf("server draining"))
+		return
+	}
+	// A live checkpoint must decode before we promise to serve resumes
+	// from it; refusing now keeps the session running at the source.
+	if kind == wire.HandoffLive {
+		if _, _, err := core.RestoreProfiler(state); err != nil {
+			reject(fmt.Errorf("handoff checkpoint does not decode: %v", err))
+			return
+		}
+	}
+	req := ckptReq{token: token, seq: seq, done: make(chan error, 1)}
+	if kind == wire.HandoffFinal {
+		req.final = state
+	} else {
+		req.blob = state
+	}
+	s.ckptq <- req
+	if err := <-req.done; err != nil {
+		reject(fmt.Errorf("installing handoff: %v", err))
+		return
+	}
+	// The session lives here now: a stale tombstone from an earlier
+	// migration epoch must not bounce its client away again.
+	s.mu.Lock()
+	delete(s.moved, token)
+	s.mu.Unlock()
+	s.metrics.handoffsIn.Add(1)
+	s.armWrite(conn)
+	wire.WriteFrame(bw, wire.FrameHandoffOK, nil)
+	bw.Flush()
+}
+
+// maxControlBody bounds /drain and /migrate request bodies; target
+// lists are tiny, so anything larger is a client bug or abuse.
+const maxControlBody = 64 << 10
+
+// drainRequest is the POST /drain body.
+type drainRequest struct {
+	// To lists migration destinations, each "addr" or "addr=adminaddr".
+	// Empty drains without migrating (sessions run to completion).
+	To []string `json:"to"`
+}
+
+// drainReply is the POST /drain response.
+type drainReply struct {
+	Draining bool `json:"draining"`
+	Sessions int  `json:"sessions"`
+	Ordered  int  `json:"ordered"`
+}
+
+// handleDrain is POST /drain: enter drain mode and migrate every live
+// session to the given destinations. Idempotent: a coordinator polls
+// /metrics and re-POSTs until sessions_active reaches zero.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	targets, ok := decodeControl(w, r, func(req *drainRequest) []string { return req.To })
+	if !ok {
+		return
+	}
+	ordered := s.Drain(targets)
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(mustJSON(drainReply{Draining: true, Sessions: n, Ordered: ordered}))
+}
+
+// migrateRequest is the POST /migrate body.
+type migrateRequest struct {
+	To    []string `json:"to"`
+	Count int      `json:"count"`
+}
+
+// migrateReply is the POST /migrate response.
+type migrateReply struct {
+	Ordered int `json:"ordered"`
+}
+
+// handleMigrate is POST /migrate: order up to count live sessions to
+// move to the destinations (load rebalancing) without draining.
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var count int
+	targets, ok := decodeControl(w, r, func(req *migrateRequest) []string {
+		count = req.Count
+		return req.To
+	})
+	if !ok {
+		return
+	}
+	if len(targets) == 0 {
+		http.Error(w, "migrate requires at least one destination", http.StatusBadRequest)
+		return
+	}
+	if count <= 0 {
+		count = 1
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(mustJSON(migrateReply{Ordered: s.OrderMigrations(targets, count)}))
+}
+
+// decodeControl shares the control handlers' method/size/shape
+// validation: POST, bounded body, strict JSON, parsed target list.
+func decodeControl[T any](w http.ResponseWriter, r *http.Request, to func(*T) []string) ([]MigrateTarget, bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxControlBody))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	var req T
+	if len(body) > 0 {
+		if err := unmarshalStrict(body, &req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return nil, false
+		}
+	}
+	targets, err := ParseMigrateTargets(to(&req))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return targets, true
+}

@@ -45,6 +45,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -127,6 +128,21 @@ type Config struct {
 	// on the admin listener (no effect without AdminAddr), so the ingest
 	// path can be profiled in place.
 	EnablePprof bool
+
+	// AdminTimeout bounds each admin API request end to end: handlers
+	// run under http.TimeoutHandler and the listener enforces a request
+	// read deadline, so a stalled or slow-drip admin client can never
+	// pin a handler goroutine (default 10s; negative disables). pprof
+	// endpoints are exempt — profile and trace captures legitimately
+	// run long.
+	AdminTimeout time.Duration
+	// HandoffTimeout bounds one live-migration handoff RPC to a
+	// destination backend, dial included (default 10s).
+	HandoffTimeout time.Duration
+	// HandoffDial overrides the transport used for outbound migration
+	// handoffs (nil = plain TCP). Test hook: chaos tests inject a
+	// faultnet dialer here.
+	HandoffDial func(ctx context.Context, addr string) (net.Conn, error)
 }
 
 func (c *Config) fill() {
@@ -173,6 +189,12 @@ func (c *Config) fill() {
 	if c.RetryAfterHint <= 0 {
 		c.RetryAfterHint = 500 * time.Millisecond
 	}
+	if c.AdminTimeout == 0 {
+		c.AdminTimeout = 10 * time.Second
+	}
+	if c.HandoffTimeout <= 0 {
+		c.HandoffTimeout = 10 * time.Second
+	}
 }
 
 // Server is an rdxd instance.
@@ -189,6 +211,13 @@ type Server struct {
 	nextID   uint64
 	draining bool
 	closed   bool
+	// moved tombstones migrated tokens so a resume attempt is answered
+	// with a redirect to the session's new home; movedOrder bounds the
+	// map (oldest forgotten first). drainTo holds the destinations for
+	// on-demand handoffs of retained sessions while draining.
+	moved      map[string]wire.Moved
+	movedOrder []string
+	drainTo    []MigrateTarget
 
 	wg       sync.WaitGroup // accept loop + one per connection
 	metrics  metrics
@@ -237,6 +266,7 @@ func New(cfg Config) (*Server, error) {
 		sem:      make(chan struct{}, cfg.Workers),
 		sessions: make(map[uint64]*session),
 		tokens:   make(map[string]struct{}),
+		moved:    make(map[string]wire.Moved),
 		ckpts:    newCkptStore(cfg.CheckpointDir, cfg.MaxCheckpoints, cfg.MaxDiskCheckpoints, cfg.Logf),
 		stopRate: make(chan struct{}),
 		ckptq:    make(chan ckptReq, 16),
@@ -250,9 +280,20 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.adminLn = adminLn
 		mux := http.NewServeMux()
-		mux.HandleFunc("/healthz", s.handleHealthz)
-		mux.HandleFunc("/metrics", s.handleMetrics)
-		mux.HandleFunc("/whatif", s.handleWhatIf)
+		// Every API handler runs under a timeout so a stalled client or a
+		// wedged handler cannot pin its goroutine; pprof stays unwrapped
+		// (profile/trace captures run as long as they were asked to).
+		api := func(h http.HandlerFunc) http.Handler {
+			if cfg.AdminTimeout > 0 {
+				return http.TimeoutHandler(h, cfg.AdminTimeout, "admin request timed out\n")
+			}
+			return h
+		}
+		mux.Handle("/healthz", api(s.handleHealthz))
+		mux.Handle("/metrics", api(s.handleMetrics))
+		mux.Handle("/whatif", api(s.handleWhatIf))
+		mux.Handle("/drain", api(s.handleDrain))
+		mux.Handle("/migrate", api(s.handleMigrate))
 		if cfg.EnablePprof {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -261,6 +302,14 @@ func New(cfg Config) (*Server, error) {
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		}
 		s.admin = &http.Server{Handler: mux}
+		if cfg.AdminTimeout > 0 {
+			// http.TimeoutHandler cannot interrupt a handler blocked
+			// reading a slow request body; the server-level read deadline
+			// can. No WriteTimeout: pprof profile/trace responses stream
+			// for longer than any fixed bound.
+			s.admin.ReadHeaderTimeout = cfg.AdminTimeout
+			s.admin.ReadTimeout = 2 * cfg.AdminTimeout
+		}
 	}
 	// The writer starts with the server object, not with Start: sessions
 	// cannot exist before Start, but finishClose waits on ckptDone and
@@ -487,6 +536,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		return // client vanished before speaking
 	}
 	s.metrics.bytesIn.Add(uint64(5 + len(payload)))
+	if t == wire.FrameHandoff {
+		// A peer backend is migrating a session here; handleHandoff owns
+		// the payload buffer.
+		s.handleHandoff(conn, bw, payload)
+		return
+	}
 	if t != wire.FrameOpen {
 		wire.PutPayload(payload)
 		reject(fmt.Errorf("expected open frame, got %s", t))
@@ -514,6 +569,15 @@ func (s *Server) handleConn(conn net.Conn) {
 	if req.ResumeToken != "" {
 		sess, err = s.resumeSession(conn, req)
 		if err != nil {
+			var moved *movedSessionError
+			if errors.As(err, &moved) {
+				// Not a failure: the session migrated. Redirect the
+				// client; it resumes by token at the new backend.
+				s.metrics.movedResumes.Add(1)
+				s.armWrite(conn)
+				writeJSONFrame(bw, wire.FrameMoved, moved.to)
+				return
+			}
 			s.metrics.resumeFailures.Add(1)
 			reject(fmt.Errorf("resume: %v", err))
 			return
@@ -532,6 +596,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 	}
 	sess.wire = wireVer
+	sess.migrate = make(chan migrateOrder, 1)
 	id, retryable, err := s.register(sess)
 	if err != nil {
 		if retryable {
@@ -606,8 +671,10 @@ drained:
 	// The reader and runner are both done with the profiler now; a
 	// disconnect checkpoint lets the client resume mid-stream. (It runs
 	// before the deferred unregister frees the token, so a racing
-	// resume cannot observe the stale pre-disconnect checkpoint.)
-	if !sess.completed {
+	// resume cannot observe the stale pre-disconnect checkpoint.) A
+	// migrated session's state lives on its new backend — checkpointing
+	// it here would resurrect a stale copy behind the tombstone.
+	if !sess.completed && !sess.migrated {
 		if err := s.checkpointSession(sess); err != nil {
 			s.cfg.Logf("rdxd: session %d: disconnect checkpoint: %v", sess.id, err)
 		}
@@ -618,9 +685,30 @@ drained:
 // finished session it carries the retained final result instead of a
 // live profiler; the runner serves it to a retried Finish.
 func (s *Server) resumeSession(conn net.Conn, req wire.OpenRequest) (*session, error) {
+	// Tombstone first: a migrated session's client must be redirected
+	// even while this server drains (register would shed it otherwise,
+	// and it would retry here forever).
+	if mv, ok := s.lookupMoved(req.ResumeToken); ok {
+		return nil, &movedSessionError{to: mv}
+	}
 	ent, err := s.ckpts.load(req.ResumeToken)
 	if err != nil {
 		return nil, err
+	}
+	// Draining with migration targets: this retained session has no
+	// live runner to hand it off, so push its state on demand, right
+	// now, and redirect the client along with it. Only safe while the
+	// token has no live session attached — a concurrent runner would
+	// fork the state. If every target refuses, fall through: register
+	// sheds the resume with a retry-after, as before.
+	s.mu.Lock()
+	_, busy := s.tokens[req.ResumeToken]
+	draining, targets := s.draining, s.drainTo
+	s.mu.Unlock()
+	if draining && len(targets) > 0 && !busy {
+		if mv, ok := s.handoffRetained(req.ResumeToken, ent, targets); ok {
+			return nil, &movedSessionError{to: mv}
+		}
 	}
 	if ent.seq < req.LastAcked {
 		return nil, fmt.Errorf("checkpoint covers batch %d but client holds ack %d", ent.seq, req.LastAcked)
@@ -890,7 +978,29 @@ func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item, fre
 			putBatchBuf(it.batch)
 		}
 	}
-	for it := range queue {
+	for {
+		var it item
+		var ok bool
+		select {
+		case it, ok = <-queue:
+			if !ok {
+				// Queue closed without Finish: the connection dropped or
+				// the client abandoned the session. handleConn takes the
+				// disconnect checkpoint once the reader is done too.
+				if n := sess.accesses.Load(); n > 0 {
+					s.cfg.Logf("rdxd: session %d disconnected after %d accesses", sess.id, n)
+				}
+				return
+			}
+		case ord := <-sess.migrate:
+			// A migration order lands at a batch boundary — or right away
+			// when the session is idle. A handed-off session's runner is
+			// done; one that every target refused keeps running here.
+			if s.migrateSession(sess, bw, ord) {
+				return
+			}
+			continue
+		}
 		if it.kind == itemBatch {
 			s.metrics.pipelineDepth.Add(-1)
 		}
@@ -1003,12 +1113,6 @@ func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item, fre
 			fail(it.err)
 			return
 		}
-	}
-	// Queue closed without Finish: the connection dropped or the client
-	// abandoned the session. handleConn takes the disconnect checkpoint
-	// once the reader is done too.
-	if n := sess.accesses.Load(); n > 0 {
-		s.cfg.Logf("rdxd: session %d disconnected after %d accesses", sess.id, n)
 	}
 }
 

@@ -29,9 +29,21 @@ type session struct {
 	completed   bool   // Finish ran; finalResult holds the reply
 	finalResult []byte // retained final-result JSON (completed sessions)
 
+	// migrate delivers migration orders to the runner (capacity 1; a
+	// duplicate order while one is pending is dropped). The runner acts
+	// on it at the next batch boundary — or immediately when idle.
+	migrate  chan migrateOrder
+	migrated bool // runner handed the session off; skip the disconnect checkpoint
+
 	dead       atomic.Bool   // reader saw the connection die
 	accesses   atomic.Uint64 // executed so far
 	stateBytes atomic.Uint64 // profiler state after the last batch
+}
+
+// migrateOrder asks a session's runner to hand the session to one of
+// the targets, tried in order.
+type migrateOrder struct {
+	targets []MigrateTarget
 }
 
 type itemKind int

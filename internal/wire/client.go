@@ -360,6 +360,16 @@ func (c *Client) expect(want FrameType) ([]byte, error) {
 			Reason: ra.Reason,
 		}
 	}
+	if t == FrameMoved {
+		var mv Moved
+		if err := json.Unmarshal(payload, &mv); err != nil {
+			return nil, fmt.Errorf("wire: decoding moved redirect: %w", err)
+		}
+		if mv.Addr == "" {
+			return nil, fmt.Errorf("wire: moved redirect without an address")
+		}
+		return nil, &MovedError{Addr: mv.Addr, Admin: mv.Admin, Seq: mv.Seq}
+	}
 	if t != want {
 		return nil, fmt.Errorf("wire: server sent %s frame, want %s", t, want)
 	}

@@ -77,6 +77,9 @@ type ReconnectStats struct {
 	// AckedSeq is the highest batch sequence number the server has
 	// durably acknowledged.
 	AckedSeq uint64
+	// Moves counts migration redirects followed: the session was handed
+	// to another backend and this client resumed it there.
+	Moves uint64
 }
 
 // pendingBatch is one unacknowledged batch held for replay.
@@ -109,6 +112,7 @@ type ReconnectingClient struct {
 	sinceSync int
 	connected bool // a connection has succeeded at least once
 	finished  bool
+	moves     int // moved redirects followed since the last successful op
 
 	stats ReconnectStats
 }
@@ -309,12 +313,21 @@ func (r *ReconnectingClient) Profile(ctx context.Context, tr trace.Reader, opts 
 	return r.Finish(ctx)
 }
 
+// maxConsecutiveMoves bounds moved redirects followed without an
+// intervening successful operation: legitimate migration chains are
+// short, and under injected corruption a mangled moved frame must not
+// bounce the client around forever.
+const maxConsecutiveMoves = 16
+
 // withRetry runs op against a live connection, transparently
 // redialing, resuming and replaying after any failure, until op
 // succeeds, ctx is done, or MaxAttempts consecutive attempts failed.
 // Every kind of failure is retried — under injected corruption even a
 // server-reported error can be a mangled frame, so no error is treated
-// as conclusively fatal; MaxAttempts bounds the damage.
+// as conclusively fatal; MaxAttempts bounds the damage. A moved
+// redirect (live migration) is not a failure: the client follows it to
+// the new backend immediately, without backoff and without spending an
+// attempt, bounded by maxConsecutiveMoves.
 func (r *ReconnectingClient) withRetry(ctx context.Context, op func(*Client) error) error {
 	var lastErr error
 	for failures := 0; ; failures++ {
@@ -331,6 +344,9 @@ func (r *ReconnectingClient) withRetry(ctx context.Context, op func(*Client) err
 		}
 		c, err := r.ensure(ctx)
 		if err != nil {
+			if r.followMove(err) {
+				failures = -1 // a redirect, not a fault: restart the budget
+			}
 			lastErr = err
 			continue
 		}
@@ -338,11 +354,33 @@ func (r *ReconnectingClient) withRetry(ctx context.Context, op func(*Client) err
 		err = r.checkCtx(ctx, op(c))
 		r.disarmDeadline()
 		if err == nil {
+			r.moves = 0
 			return nil
 		}
 		lastErr = err
 		r.dropConn()
+		if r.followMove(err) {
+			failures = -1
+		}
 	}
+}
+
+// followMove redirects the session to the backend named by a moved
+// error, if err is one and the redirect budget allows. The token stays;
+// the next ensure resumes it on the new backend from the handed-over
+// state.
+func (r *ReconnectingClient) followMove(err error) bool {
+	var mv *MovedError
+	if !errors.As(err, &mv) {
+		return false
+	}
+	if r.moves++; r.moves > maxConsecutiveMoves {
+		return false
+	}
+	r.addr = mv.Addr
+	r.stats.Moves++
+	r.dropConn()
+	return true
 }
 
 // ensure returns a live, opened (or resumed) connection, establishing

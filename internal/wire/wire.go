@@ -82,6 +82,12 @@ const (
 	// columnar encoding (see EncodeColumns); only valid on sessions that
 	// negotiated wire version 3 at open.
 	FrameBatchV3 FrameType = 0x06
+	// FrameHandoff (backend→backend) transfers one retained session
+	// state — a live checkpoint or a finished session's final result —
+	// during live migration. It is sent as a connection's first frame
+	// in place of FrameOpen; the receiver installs the state durably
+	// and answers FrameHandoffOK. Payload: see EncodeHandoff.
+	FrameHandoff FrameType = 0x07
 
 	// FrameOpenOK (server→client) acknowledges FrameOpen; payload
 	// OpenReply.
@@ -102,6 +108,14 @@ const (
 	// server is at capacity or draining; payload RetryAfter (JSON). The
 	// session was not admitted and the client should back off.
 	FrameRetryAfter FrameType = 0x15
+	// FrameMoved (server→client) replaces any reply when the session has
+	// been migrated to another backend; payload Moved (JSON). The client
+	// should reconnect to the named backend and resume by token there.
+	FrameMoved FrameType = 0x16
+	// FrameHandoffOK (server→backend) acknowledges FrameHandoff: the
+	// transferred session state is installed durably and a client
+	// resuming by token will find it; empty payload.
+	FrameHandoffOK FrameType = 0x17
 )
 
 // String names the frame type for diagnostics.
@@ -119,6 +133,8 @@ func (t FrameType) String() string {
 		return "sync"
 	case FrameBatchV3:
 		return "batch-v3"
+	case FrameHandoff:
+		return "handoff"
 	case FrameOpenOK:
 		return "open-ok"
 	case FrameResult:
@@ -131,6 +147,10 @@ func (t FrameType) String() string {
 		return "ack"
 	case FrameRetryAfter:
 		return "retry-after"
+	case FrameMoved:
+		return "moved"
+	case FrameHandoffOK:
+		return "handoff-ok"
 	default:
 		return fmt.Sprintf("FrameType(%#x)", uint8(t))
 	}

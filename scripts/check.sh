@@ -32,6 +32,15 @@ fi
 echo "==> pool fault-injection smoke"
 go test -run='^TestPoolE2EFaultsAndBackendDeath$' -count=1 ./internal/pool
 
+# Migration chaos smoke: the control-plane E2E (64 streams, a backend
+# admitted mid-run, another drained live via checkpoint handover over a
+# fault-injecting transport, a migration destination killed mid-drain)
+# must keep the MultiResult bit-identical to the local run and leave the
+# drained backend with zero live sessions — under the race detector,
+# since migration races runners, drains, and probers by design.
+echo "==> migration chaos smoke (-race)"
+go test -race -run='^TestControlPlaneE2EChaos$' -count=1 ./internal/ctrl
+
 # Short fuzz smoke on the wire-protocol decoders: enough to catch a
 # regression in the corpus or an obvious panic, cheap enough for CI.
 echo "==> fuzz smoke (wire decoders, 10s each)"
