@@ -9,6 +9,8 @@
 //	rdexper -n 16777216 -period 32768 -exp T2
 //	rdexper -bench-out BENCH_engine.json   # engine + server throughput records
 //	                                       # (BENCH_server.json lands alongside)
+//	rdexper -exp MULTICORE                 # GOMAXPROCS sweep merged into BENCH_*.json
+//	rdexper -bench-gate BENCH_engine.json  # throughput regression gate (noise-aware)
 //	rdexper -list
 package main
 
@@ -29,10 +31,12 @@ func main() {
 		n             = flag.Uint64("n", 4<<20, "accesses per workload run")
 		period        = flag.Uint64("period", 8<<10, "default RDX sampling period")
 		seed          = flag.Uint64("seed", 1, "random seed")
+		reps          = flag.Int("reps", 3, "repetitions per benchmark row; rows record the median with a min/max noise band")
 		list          = flag.Bool("list", false, "list experiment IDs and exit")
 		benchOut      = flag.String("bench-out", "", "run the engine and server throughput benchmarks and write their JSON records to this path (e.g. BENCH_engine.json; BENCH_server.json is written alongside), then exit")
 		benchBaseline = flag.String("bench-baseline", "", "directory holding a prior BENCH_engine.json/BENCH_server.json pair to embed as the baseline rows of the new records")
 		compressCheck = flag.String("compress-check", "", "measure the strided-workload wire compression ratio and fail if it drops below the baseline committed in this BENCH_server.json, then exit")
+		benchGate     = flag.String("bench-gate", "", "re-measure the engine gate rows at the operating point committed in this BENCH_engine.json and fail only below its recorded noise threshold, then exit")
 	)
 	flag.Parse()
 
@@ -48,6 +52,7 @@ func main() {
 		Accesses: *n,
 		Period:   *period,
 		Seed:     *seed,
+		Reps:     *reps,
 		Out:      os.Stdout,
 	}
 
@@ -55,6 +60,14 @@ func main() {
 		if err := runCompressCheck(opts, *compressCheck); err != nil {
 			fatal(err)
 		}
+		return
+	}
+
+	if *benchGate != "" {
+		if err := opts.RunBenchGate(*benchGate); err != nil {
+			fatal(err)
+		}
+		fmt.Println("bench gate: OK")
 		return
 	}
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rdxd [-addr 127.0.0.1:9127] [-admin 127.0.0.1:9128] [-workers 4]
+//	rdxd [-addr 127.0.0.1:9127] [-admin 127.0.0.1:9128] [-workers 0]
 //	     [-queue-depth 8] [-max-sessions 64] [-drain-timeout 30s]
 //	     [-checkpoint-dir /var/lib/rdxd] [-checkpoint-every 64]
 //	     [-read-timeout 5m] [-write-timeout 1m] [-admin-timeout 10s]
@@ -42,7 +42,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:9127", "profiling listener address")
 		admin        = flag.String("admin", "127.0.0.1:9128", "admin (healthz/metrics) listener address; empty disables")
-		workers      = flag.Int("workers", 4, "concurrent engine executions across all sessions")
+		workers      = flag.Int("workers", 0, "executor workers multiplexing all sessions (0 = GOMAXPROCS)")
 		queueDepth   = flag.Int("queue-depth", 8, "per-session bounded batch queue depth")
 		maxBatch     = flag.Int("max-batch", 1<<20, "largest accepted batch, in accesses")
 		maxWire      = flag.Int("max-wire-version", 3, "highest wire protocol version to negotiate (2 = uncompressed RDT3 batches, 3 = compressed columnar batches)")

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/big"
 	"runtime"
 	"sort"
 	"sync"
@@ -145,38 +146,82 @@ feed:
 			return nil, fmt.Errorf("core: thread %d: %w", i, err)
 		}
 	}
-	return MergeResults(results), nil
+	// Fan the merge in as a parallel tree reduction; the exact-sum
+	// Merger makes this byte-identical to a sequential fold.
+	return MergeResultsParallel(results, workers), nil
 }
 
 // Merger combines per-thread (or per-shard) results into one
 // program-level MultiResult, one result at a time. Locality histograms
 // compose exactly across disjoint streams (Yuan et al.'s measurement
 // theory), so the merge is an exact weighted sum, not an approximation;
-// the merged output depends only on the sequence of Add calls, never on
+// the merged output depends only on the set of Add calls, never on
 // where each Result was produced — a result shipped back from a remote
 // backend (wire.ToCore) merges bit-identically to one computed in
-// process. Add in stream order: histogram and attribution weights are
-// floating-point sums, so order is part of the bit-identity contract.
+// process.
+//
+// The merge is order-independent: histogram buckets and attribution
+// weights accumulate in exact extended-precision sums (see exactSum)
+// and are rounded to float64 once, at Result. Any Add order — and any
+// Merge tree shape — produces byte-identical aggregates, which is what
+// lets ProfileThreads fan the merge out as a parallel tree reduction.
+// Only MultiResult.Threads reflects Add order, by contract.
 type Merger struct {
-	m     *MultiResult
-	pairs map[PairKey]*pairAgg
-	done  bool
+	m          *MultiResult
+	dist, time histMerge
+	pairs      map[PairKey]*pairAgg
+	tmp        big.Float // scratch for exactSum.add
+	done       bool
+}
+
+// histMerge accumulates one histogram's buckets in exact sums.
+type histMerge struct {
+	buckets []exactSum
+	cold    exactSum
+	count   uint64
+}
+
+func (hm *histMerge) add(h *histogram.Histogram, tmp *big.Float) {
+	for len(hm.buckets) < h.NumBuckets() {
+		hm.buckets = append(hm.buckets, exactSum{})
+	}
+	for b := 0; b < h.NumBuckets(); b++ {
+		hm.buckets[b].add(h.Weight(b), tmp)
+	}
+	hm.cold.add(h.Cold(), tmp)
+	hm.count += h.Count()
+}
+
+func (hm *histMerge) merge(o *histMerge) {
+	for len(hm.buckets) < len(o.buckets) {
+		hm.buckets = append(hm.buckets, exactSum{})
+	}
+	for b := range o.buckets {
+		hm.buckets[b].addSum(&o.buckets[b])
+	}
+	hm.cold.addSum(&o.cold)
+	hm.count += o.count
+}
+
+func (hm *histMerge) histogram() *histogram.Histogram {
+	buckets := make([]float64, len(hm.buckets))
+	for b := range hm.buckets {
+		buckets[b] = hm.buckets[b].float64()
+	}
+	return histogram.Assemble(buckets, hm.cold.float64(), hm.count)
 }
 
 // pairAgg accumulates one code pair's statistics across threads.
 type pairAgg struct {
 	count            uint64
-	weight, distSum  float64
+	weight, distSum  exactSum
 	minTime, maxTime uint64
 }
 
 // NewMerger returns an empty merger.
 func NewMerger() *Merger {
 	return &Merger{
-		m: &MultiResult{
-			ReuseDistance: histogram.New(),
-			ReuseTime:     histogram.New(),
-		},
+		m:     &MultiResult{},
 		pairs: make(map[PairKey]*pairAgg),
 	}
 }
@@ -189,8 +234,8 @@ func (g *Merger) Add(r *Result) {
 	}
 	m := g.m
 	m.Threads = append(m.Threads, r)
-	m.ReuseDistance.AddHistogram(r.ReuseDistance)
-	m.ReuseTime.AddHistogram(r.ReuseTime)
+	g.dist.add(r.ReuseDistance, &g.tmp)
+	g.time.add(r.ReuseTime, &g.tmp)
 	m.Accesses += r.Accesses
 	m.Samples += r.Samples
 	m.ReusePairs += r.ReusePairs
@@ -201,13 +246,46 @@ func (g *Merger) Add(r *Result) {
 			g.pairs[p.Pair] = a
 		}
 		a.count += p.Count
-		a.weight += p.Weight
-		a.distSum += p.Weight * p.MeanDistance
+		a.weight.add(p.Weight, &g.tmp)
+		a.distSum.add(p.Weight*p.MeanDistance, &g.tmp)
 		if p.MinTime < a.minTime {
 			a.minTime = p.MinTime
 		}
 		if p.MaxTime > a.maxTime {
 			a.maxTime = p.MaxTime
+		}
+	}
+}
+
+// Merge folds another merger's accumulated state into g: o's threads
+// are appended after g's, and every exact aggregate combines without
+// rounding, so a tree of Merges is byte-identical to a sequential fold
+// over the same results. o must not be used afterwards.
+func (g *Merger) Merge(o *Merger) {
+	if g.done || o.done {
+		panic("core: Merger.Merge after Result")
+	}
+	m := g.m
+	m.Threads = append(m.Threads, o.m.Threads...)
+	g.dist.merge(&o.dist)
+	g.time.merge(&o.time)
+	m.Accesses += o.m.Accesses
+	m.Samples += o.m.Samples
+	m.ReusePairs += o.m.ReusePairs
+	for k, oa := range o.pairs {
+		a := g.pairs[k]
+		if a == nil {
+			g.pairs[k] = oa
+			continue
+		}
+		a.count += oa.count
+		a.weight.addSum(&oa.weight)
+		a.distSum.addSum(&oa.distSum)
+		if oa.minTime < a.minTime {
+			a.minTime = oa.minTime
+		}
+		if oa.maxTime > a.maxTime {
+			a.maxTime = oa.maxTime
 		}
 	}
 }
@@ -222,10 +300,13 @@ func (g *Merger) Result() *MultiResult {
 	}
 	g.done = true
 	m := g.m
+	m.ReuseDistance = g.dist.histogram()
+	m.ReuseTime = g.time.histogram()
 	for k, a := range g.pairs {
-		ps := PairStat{Pair: k, Count: a.count, Weight: a.weight, MinTime: a.minTime, MaxTime: a.maxTime}
-		if a.weight > 0 {
-			ps.MeanDistance = a.distSum / a.weight
+		w := a.weight.float64()
+		ps := PairStat{Pair: k, Count: a.count, Weight: w, MinTime: a.minTime, MaxTime: a.maxTime}
+		if w > 0 {
+			ps.MeanDistance = a.distSum.float64() / w
 		}
 		m.Attribution = append(m.Attribution, ps)
 	}
@@ -249,4 +330,65 @@ func MergeResults(results []*Result) *MultiResult {
 		g.Add(r)
 	}
 	return g.Result()
+}
+
+// mergeFanInMin is the result count below which a parallel merge tree
+// is pure overhead.
+const mergeFanInMin = 4
+
+// MergeResultsParallel is MergeResults fanned out as a parallel tree
+// reduction: the results split into contiguous chunks folded
+// concurrently, and the chunk mergers combine pairwise. Because the
+// merge aggregates are exact sums, the output is byte-identical to the
+// sequential MergeResults — Threads order included (chunks are
+// contiguous and combine left-to-right). workers <= 0 selects
+// runtime.GOMAXPROCS(0); with one worker or few results it simply runs
+// sequentially.
+func MergeResultsParallel(results []*Result, workers int) *MultiResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(results) {
+		workers = len(results)
+	}
+	if workers <= 1 || len(results) < mergeFanInMin {
+		return MergeResults(results)
+	}
+	// Fold phase: one contiguous chunk per worker.
+	mergers := make([]*Merger, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := len(results) * w / workers
+		hi := len(results) * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			g := NewMerger()
+			for _, r := range results[lo:hi] {
+				g.Add(r)
+			}
+			mergers[w] = g
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Reduce phase: combine adjacent pairs, halving each level.
+	for len(mergers) > 1 {
+		next := make([]*Merger, (len(mergers)+1)/2)
+		var rw sync.WaitGroup
+		for i := 0; i < len(mergers); i += 2 {
+			if i+1 == len(mergers) {
+				next[i/2] = mergers[i]
+				continue
+			}
+			rw.Add(1)
+			go func(i int) {
+				defer rw.Done()
+				mergers[i].Merge(mergers[i+1])
+				next[i/2] = mergers[i]
+			}(i)
+		}
+		rw.Wait()
+		mergers = next
+	}
+	return mergers[0].Result()
 }

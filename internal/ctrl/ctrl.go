@@ -249,13 +249,19 @@ func (c *Coordinator) Rebalance(ctx context.Context) (int, error) {
 		load int64
 	}
 	var fleet []loaded
+	// Snapshot the Active members under the lock — State is mutated by
+	// concurrent Admit/Drain. A member that starts draining after the
+	// snapshot is at worst probed or ordered to migrate once more; both
+	// are idempotent on the admin side.
 	c.mu.Lock()
-	members := append([]*Member(nil), c.members...)
+	var members []*Member
+	for _, m := range c.members {
+		if m.State == Active && m.Backend.Admin != "" {
+			members = append(members, m)
+		}
+	}
 	c.mu.Unlock()
 	for _, m := range members {
-		if m.State != Active || m.Backend.Admin == "" {
-			continue
-		}
 		load, err := c.fetchLoad(ctx, m.Backend.Admin)
 		if err != nil {
 			c.opts.Logf("ctrl: rebalance: skipping %s: %v", m.Backend.Addr, err)

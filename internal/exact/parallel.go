@@ -18,24 +18,30 @@ import (
 //     contiguous time window), so a per-shard Olken over only the
 //     shard's own accesses measures it exactly. Workers do this in
 //     parallel.
-//   - A reuse that crosses a shard boundary is resolved by a sequential
-//     merge. Each worker reports, per distinct block it touched, the
-//     first and last access (time and PC) — its "boundary records", in
-//     first-touch order. The merge keeps each known block's global
-//     last-access time in an order-statistics tree. For a boundary
-//     record of block b first touched at time t with global previous
-//     access at p (< shard start), the distinct blocks accessed in
-//     (p, t) split into (a) blocks touched earlier in this shard — all
-//     of them count, and they are exactly the boundary records already
-//     processed — and (b) blocks untouched in this shard before t,
-//     which count iff their global last access exceeds p: a
-//     CountGreater on the tree after evicting the already-processed
-//     blocks' stale keys. The reuse distance is (a) + (b), bit-exact
-//     with the sequential algorithm.
+//   - A reuse that crosses a shard boundary is resolved when the two
+//     windows containing its use and its reuse are combined. Each
+//     worker reports, per distinct block it touched, the first and last
+//     access (time and PC) — its "boundary records", in first-touch
+//     order. Combining two adjacent windows A·B resolves every reuse
+//     whose use is A's last access of a block and whose reuse is B's
+//     first: for B's record of block b first touched at time t with A's
+//     last access of b at p, the distinct blocks accessed in (p, t)
+//     split into (a) blocks touched earlier in B — exactly the B
+//     records already processed — and (b) blocks untouched in B before
+//     t whose last access in A exceeds p: a CountGreater over A's
+//     last-access times after evicting the already-processed blocks'
+//     stale keys. The distance is (a) + (b); every intervening access
+//     lies inside A·B, so the value is final and bit-exact with the
+//     sequential algorithm no matter what surrounds the pair.
 //
-// Histogram and attribution merges only ever add unit-weight integer
-// observations, so the result is identical (not just statistically
-// equivalent) to Measure's, independent of worker count and shard size.
+// The combine is an associative monoid over contiguous windows (a
+// combined window's boundary records are again first/last records), so
+// the shards reduce in a parallel pairwise tree instead of a
+// single-threaded left fold; blocks still unresolved at the root are
+// the trace's true cold misses. Histogram and attribution merges only
+// ever add unit-weight integer observations, so the result is identical
+// (not just statistically equivalent) to Measure's, independent of
+// worker count, shard size, and reduction-tree shape.
 
 // DefaultShardSize is the default number of accesses per parallel
 // shard: large enough that the O(shard log shard) local work dwarfs the
@@ -155,94 +161,140 @@ func measureShard(accs []mem.Access, startTime uint64, g mem.Granularity, attrib
 	return sr
 }
 
-// merger resolves cross-shard reuses and accumulates global results.
-type merger struct {
-	res  *ParallelResult
-	last map[mem.Addr]lastUse
-	tree *orderTreap // one key per known block: its global last-access time
-}
-
-func newMerger(attrib bool) *merger {
-	m := &merger{
-		res: &ParallelResult{
-			distHist: histogram.New(),
-			timeHist: histogram.New(),
-		},
-		last: make(map[mem.Addr]lastUse),
-		tree: newOrderTreap(1),
-	}
-	if attrib {
-		m.res.pairs = make(map[PairKey]*PairAgg)
-	}
-	return m
-}
-
-func (m *merger) addPair(key PairKey, dist uint64) {
-	agg := m.res.pairs[key]
+// addShardPair bumps one code pair's exact aggregation.
+func addShardPair(pairs map[PairKey]*PairAgg, key PairKey, dist uint64) {
+	agg := pairs[key]
 	if agg == nil {
 		agg = &PairAgg{}
-		m.res.pairs[key] = agg
+		pairs[key] = agg
 	}
 	agg.Count++
 	agg.DistSum += float64(dist)
 }
 
-// merge folds one shard (shards must arrive in trace order).
-func (m *merger) merge(sr *shardResult) {
-	m.res.accesses += sr.accesses
-	m.res.distHist.AddHistogram(sr.dist)
-	m.res.timeHist.AddHistogram(sr.time)
-	for key, agg := range sr.pairs {
-		g := m.res.pairs[key]
+// combineShards merges two adjacent contiguous windows A·B into one,
+// resolving every reuse whose use is in A and reuse in B (see the
+// package comment's decomposition). It is destructive: the merged
+// window lives in a, and b must not be used afterwards. The operation
+// is associative, which is what licenses the parallel reduction tree.
+func combineShards(a, b *shardResult, attrib bool) *shardResult {
+	a.accesses += b.accesses
+	a.dist.AddHistogram(b.dist)
+	a.time.AddHistogram(b.time)
+	for key, agg := range b.pairs {
+		g := a.pairs[key]
 		if g == nil {
 			g = &PairAgg{}
-			m.res.pairs[key] = g
+			a.pairs[key] = g
 		}
 		g.Count += agg.Count
 		g.DistSum += agg.DistSum
 	}
 
-	// Resolve each first touch, in first-touch order. `removed` counts
-	// boundary records already processed: every one of them was accessed
-	// in this shard before the current first touch, hence inside any
-	// cross-shard reuse window ending here.
+	// A's last-access times, one tree key per block; B's records evict
+	// their block's stale key as they resolve against it.
+	idx := make(map[mem.Addr]int32, len(a.blocks))
+	tree := newOrderTreap(1)
+	for i := range a.blocks {
+		idx[a.blocks[i].block] = int32(i)
+		tree.Insert(a.blocks[i].lastTime)
+	}
+	// Resolve B's first touches in first-touch order. `removed` counts
+	// B records already processed: each was accessed in B before the
+	// current first touch, hence inside any A→B reuse window ending
+	// here.
 	removed := 0
-	for i := range sr.blocks {
-		rec := &sr.blocks[i]
-		if prev, ok := m.last[rec.block]; ok {
-			d := uint64(removed) + m.tree.CountGreater(prev.time)
-			m.res.distHist.Add(d, 1)
-			m.res.timeHist.Add(rec.firstTime-prev.time, 1)
-			if m.res.pairs != nil {
-				m.addPair(PairKey{UsePC: prev.pc, ReusePC: rec.firstPC}, d)
+	for i := range b.blocks {
+		rec := &b.blocks[i]
+		if ai, ok := idx[rec.block]; ok {
+			arec := &a.blocks[ai]
+			d := uint64(removed) + tree.CountGreater(arec.lastTime)
+			a.dist.Add(d, 1)
+			a.time.Add(rec.firstTime-arec.lastTime, 1)
+			if attrib {
+				addShardPair(a.pairs, PairKey{UsePC: arec.lastPC, ReusePC: rec.firstPC}, d)
 			}
-			m.tree.Delete(prev.time)
+			tree.Delete(arec.lastTime)
+			// The block's window-wide last access is now B's.
+			arec.lastTime, arec.lastPC = rec.lastTime, rec.lastPC
 		} else {
-			m.res.distHist.Add(histogram.Infinite, 1)
-			m.res.timeHist.Add(histogram.Infinite, 1)
+			// First touch across A·B: stays a boundary record of the
+			// combined window (firstTime/firstPC are B's, still correct).
+			a.blocks = append(a.blocks, *rec)
 		}
 		removed++
 	}
-	// Publish the shard's last-access times as the new global keys.
-	for i := range sr.blocks {
-		rec := &sr.blocks[i]
-		m.tree.Insert(rec.lastTime)
-		m.last[rec.block] = lastUse{time: rec.lastTime, pc: rec.lastPC}
-	}
+	return a
 }
 
-func (m *merger) finish() *ParallelResult {
+// reduceShards folds ordered shard results into one window via a
+// parallel pairwise reduction tree, bounded by `workers` concurrent
+// combines. Associativity makes the tree shape invisible in the result.
+func reduceShards(shards []*shardResult, workers int, attrib bool) *shardResult {
+	if len(shards) == 0 {
+		sr := &shardResult{dist: histogram.New(), time: histogram.New()}
+		if attrib {
+			sr.pairs = make(map[PairKey]*PairAgg)
+		}
+		return sr
+	}
+	sem := make(chan struct{}, workers)
+	var reduce func(lo, hi int) *shardResult
+	reduce = func(lo, hi int) *shardResult {
+		if hi-lo == 1 {
+			return shards[lo]
+		}
+		mid := (lo + hi) / 2
+		select {
+		case sem <- struct{}{}:
+			// A worker slot is free: reduce the left half concurrently.
+			ch := make(chan *shardResult, 1)
+			go func() {
+				left := reduce(lo, mid)
+				<-sem
+				ch <- left
+			}()
+			right := reduce(mid, hi)
+			return combineShards(<-ch, right, attrib)
+		default:
+			return combineShards(reduce(lo, mid), reduce(mid, hi), attrib)
+		}
+	}
+	return reduce(0, len(shards))
+}
+
+// finishShards turns the reduction root into the external result: every
+// block still unresolved at the root is a true cold miss of the whole
+// trace.
+func finishShards(root *shardResult) *ParallelResult {
+	res := &ParallelResult{
+		distHist: root.dist,
+		timeHist: root.time,
+		accesses: root.accesses,
+		distinct: uint64(len(root.blocks)),
+		pairs:    root.pairs,
+	}
+	for range root.blocks {
+		res.distHist.Add(histogram.Infinite, 1)
+		res.timeHist.Add(histogram.Infinite, 1)
+	}
+	// State model, as the sequential merge held it: one order-tree key
+	// (24-byte treap node + 4-byte free-list slot) plus one last-use map
+	// entry per distinct block.
 	const mapEntryBytes = 56 // as Profiler.StateBytes models map[Addr]lastUse
-	m.res.distinct = uint64(len(m.last))
-	m.res.state = m.tree.StateBytes() + uint64(len(m.last))*mapEntryBytes
-	return m.res
+	const treeKeyBytes = 28
+	res.state = uint64(len(root.blocks)) * (mapEntryBytes + treeKeyBytes)
+	return res
 }
 
 // MeasureParallel measures a stream exhaustively like Measure, but
-// fanned out over contiguous trace shards on a bounded worker pool with
-// a sequential exact merge. The histograms, pair aggregation and
-// counters are identical to the sequential measurement for any worker
-// count and shard size.
+// fanned out over contiguous trace shards on a bounded worker pool,
+// with cross-shard reuses resolved by a parallel pairwise reduction
+// over the shard results. The histograms, pair aggregation and counters
+// are identical to the sequential measurement for any worker count and
+// shard size. Boundary records for all shards are held until the
+// reduction, so peak memory is O(sum of per-shard distinct blocks) —
+// the price of a parallel (rather than streaming left-fold) merge.
 func MeasureParallel(r trace.Reader, g mem.Granularity, opt ParallelOptions) (*ParallelResult, error) {
 	workers := opt.Workers
 	if workers <= 0 {
@@ -308,13 +360,13 @@ func MeasureParallel(r trace.Reader, g mem.Granularity, opt ParallelOptions) (*P
 		}
 	}()
 
-	m := newMerger(opt.Attribution)
+	shards := make([]*shardResult, 0, workers+1)
 	for out := range pending {
-		m.merge(<-out)
+		shards = append(shards, <-out)
 	}
 	wg.Wait()
 	if readErr != nil {
 		return nil, readErr
 	}
-	return m.finish(), nil
+	return finishShards(reduceShards(shards, workers, opt.Attribution)), nil
 }

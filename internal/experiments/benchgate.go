@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/exact"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// benchGateRows are the rows RunBenchGate re-measures: the engine fast
+// path and the sequential oracle — the two throughputs every other
+// number in the trajectory is expressed against.
+var benchGateRows = []string{"machine-run-batched", "exact-oracle-sequential"}
+
+// benchGateFloorTolerance is the minimum relative slack the gate
+// allows even when the committed row recorded a tight noise band:
+// single-core CI boxes share their CPU with the rest of the system,
+// and a gate that fires inside scheduler noise trains people to ignore
+// it.
+const benchGateFloorTolerance = 0.25
+
+// RunBenchGate is the scripts/check.sh throughput regression gate:
+// re-measure the gate rows at the committed record's own operating
+// point (accesses, period) and fail only when the fresh median falls
+// below the committed throughput by more than the committed noise
+// threshold — three times the row's recorded rep spread, floored at
+// benchGateFloorTolerance. A drop inside that band is declared noise
+// by construction, never a failure; the committed numbers themselves
+// are only moved deliberately, via rdexper -bench-out.
+func (o Options) RunBenchGate(path string) error {
+	base, err := ReadEngineBench(path)
+	if err != nil {
+		return err
+	}
+	// Measure at the committed operating point so throughputs compare
+	// apples-to-apples regardless of the caller's -n.
+	o.Accesses = base.Accesses
+	o.Period = base.Period
+	n := o.Accesses
+
+	cfg := core.DefaultConfig()
+	cfg.SamplePeriod = o.Period
+	cfg.Seed = o.Seed
+	measure := map[string]func() error{
+		"machine-run-batched": func() error {
+			p, err := core.NewProfiler(cfg)
+			if err != nil {
+				return err
+			}
+			_, err = p.Run(engineBenchStream(n), cpumodel.Default())
+			return err
+		},
+		"exact-oracle-sequential": func() error {
+			_, err := exact.Measure(trace.ZipfAccess(o.Seed, 0, 1<<16, 1.0, n), mem.WordGranularity)
+			return err
+		},
+	}
+
+	for _, name := range benchGateRows {
+		var committed *EngineBenchRow
+		for i := range base.Rows {
+			if base.Rows[i].Name == name {
+				committed = &base.Rows[i]
+				break
+			}
+		}
+		if committed == nil || committed.AccessesSec <= 0 {
+			return fmt.Errorf("%s holds no %q row to gate against", path, name)
+		}
+		row, err := timeRun(name, n, o.reps(), measure[name])
+		if err != nil {
+			return err
+		}
+		tol := math.Max(3*committed.Spread, benchGateFloorTolerance)
+		floor := committed.AccessesSec * (1 - tol)
+		fmt.Fprintf(o.out(), "%-26s %14.0f accesses/sec measured, %14.0f committed (floor %14.0f, spread %.1f%%)\n",
+			name, row.AccessesSec, committed.AccessesSec, floor, 100*committed.Spread)
+		if row.AccessesSec < floor {
+			return fmt.Errorf("%s regressed: %.0f accesses/sec measured < %.0f floor (committed %.0f, tolerance %.0f%%) in %s",
+				name, row.AccessesSec, floor, committed.AccessesSec, 100*tol, path)
+		}
+	}
+	return nil
+}

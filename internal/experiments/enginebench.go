@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -27,6 +28,27 @@ type EngineBenchRow struct {
 	// VsBaseline is this row's throughput over the same-named row of
 	// the attached baseline record (0 when no baseline row matches).
 	VsBaseline float64 `json:"vs_baseline,omitempty"`
+	// GoMaxProcs tags rows from the multicore sweep (MULTICORE) with
+	// the GOMAXPROCS they ran under; 0 marks the default single-setting
+	// rows, whose record-level GoMaxProcs applies. Tagged row names
+	// carry a matching "/gmp=N" suffix so name-based comparisons stay
+	// apples-to-apples.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// Paced marks rows whose trace reader was deliberately slowed to
+	// the oracle's own measurement rate, modelling acquisition-bound
+	// input (a socket, a slow disk): these rows demonstrate pipeline
+	// overlap of acquisition with measurement, NOT CPU-parallel
+	// speedup, and must never be compared against unpaced rows.
+	Paced bool `json:"paced,omitempty"`
+	// Reps, MinAccessesSec, MaxAccessesSec and Spread record
+	// measurement variance when the row was repeated: Seconds and
+	// AccessesSec are the median rep, Spread is (max-min)/median
+	// throughput — the row's own noise band, which regression gates
+	// must stay outside of before declaring a change real.
+	Reps           int     `json:"reps,omitempty"`
+	MinAccessesSec float64 `json:"min_accesses_per_sec,omitempty"`
+	MaxAccessesSec float64 `json:"max_accesses_per_sec,omitempty"`
+	Spread         float64 `json:"spread,omitempty"`
 }
 
 // EngineBenchResult is the machine-readable engine performance record
@@ -84,17 +106,72 @@ func engineBenchStream(n uint64) trace.Reader {
 	return trace.Cyclic(0, 1<<10, n)
 }
 
-func timeRun(name string, n uint64, f func() error) (EngineBenchRow, error) {
-	start := time.Now()
-	if err := f(); err != nil {
-		return EngineBenchRow{}, fmt.Errorf("%s: %w", name, err)
+// rowFromSecs builds a row from per-rep wall times: the median rep is
+// the headline number, min/max/spread record the observed noise band.
+func rowFromSecs(name string, n uint64, secs []float64) EngineBenchRow {
+	sorted := append([]float64(nil), secs...)
+	sort.Float64s(sorted)
+	med := sorted[len(sorted)/2]
+	row := EngineBenchRow{Name: name, Accesses: n, Seconds: med}
+	if med > 0 {
+		row.AccessesSec = float64(n) / med
 	}
-	el := time.Since(start).Seconds()
-	row := EngineBenchRow{Name: name, Accesses: n, Seconds: el}
-	if el > 0 {
-		row.AccessesSec = float64(n) / el
+	if len(sorted) > 1 {
+		row.Reps = len(sorted)
+		row.MinAccessesSec = float64(n) / sorted[len(sorted)-1]
+		row.MaxAccessesSec = float64(n) / sorted[0]
+		if row.AccessesSec > 0 {
+			row.Spread = (row.MaxAccessesSec - row.MinAccessesSec) / row.AccessesSec
+		}
 	}
-	return row, nil
+	return row
+}
+
+// timeRun measures f reps times and returns the median as the row,
+// with min/max/spread recording the observed noise band. f must be
+// self-contained (build its own state each call) so every rep measures
+// the same work.
+func timeRun(name string, n uint64, reps int, f func() error) (EngineBenchRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	secs := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return EngineBenchRow{}, fmt.Errorf("%s: %w", name, err)
+		}
+		secs = append(secs, time.Since(start).Seconds())
+	}
+	return rowFromSecs(name, n, secs), nil
+}
+
+// timeRunPaired measures two variants with their reps interleaved
+// (a, b, a, b, ...) instead of back to back. On a shared machine the
+// available CPU drifts over seconds; interleaving exposes both
+// variants to the same drift, so their ratio — which is what paired
+// rows exist to report — reflects the code, not when each happened to
+// run.
+func timeRunPaired(nameA, nameB string, n uint64, reps int, fa, fb func() error) (EngineBenchRow, EngineBenchRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var none EngineBenchRow
+	secsA := make([]float64, 0, reps)
+	secsB := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := fa(); err != nil {
+			return none, none, fmt.Errorf("%s: %w", nameA, err)
+		}
+		secsA = append(secsA, time.Since(start).Seconds())
+		start = time.Now()
+		if err := fb(); err != nil {
+			return none, none, fmt.Errorf("%s: %w", nameB, err)
+		}
+		secsB = append(secsB, time.Since(start).Seconds())
+	}
+	return rowFromSecs(nameA, n, secsA), rowFromSecs(nameB, n, secsB), nil
 }
 
 // RunEngineBench measures the simulation engine's throughput: the
@@ -114,16 +191,18 @@ func (o Options) RunEngineBench() (*EngineBenchResult, error) {
 	cfg.Seed = o.Seed
 
 	runProfiled := func(name string, ref bool) (EngineBenchRow, error) {
-		p, err := core.NewProfiler(cfg)
-		if err != nil {
-			return EngineBenchRow{}, err
-		}
-		return timeRun(name, n, func() error {
+		// A fresh profiler per rep: the profiler is single-run state, and
+		// its construction cost is noise against n accesses.
+		return timeRun(name, n, o.reps(), func() error {
+			p, err := core.NewProfiler(cfg)
+			if err != nil {
+				return err
+			}
 			if ref {
 				_, err := p.RunReference(engineBenchStream(n), cpumodel.Default())
 				return err
 			}
-			_, err := p.Run(engineBenchStream(n), cpumodel.Default())
+			_, err = p.Run(engineBenchStream(n), cpumodel.Default())
 			return err
 		})
 	}
@@ -143,14 +222,14 @@ func (o Options) RunEngineBench() (*EngineBenchResult, error) {
 	// The exact oracle works per distinct block; a Zipf stream gives it
 	// a realistic skewed footprint.
 	oracleStream := func() trace.Reader { return trace.ZipfAccess(o.Seed, 0, 1<<16, 1.0, n) }
-	seq, err := timeRun("exact-oracle-sequential", n, func() error {
+	seq, err := timeRun("exact-oracle-sequential", n, o.reps(), func() error {
 		_, err := exact.Measure(oracleStream(), mem.WordGranularity)
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	par, err := timeRun("exact-oracle-parallel", n, func() error {
+	par, err := timeRun("exact-oracle-parallel", n, o.reps(), func() error {
 		_, err := exact.MeasureParallel(oracleStream(), mem.WordGranularity, exact.ParallelOptions{})
 		return err
 	})
@@ -196,7 +275,7 @@ func (o Options) runMRCBench() (EngineBenchRow, error) {
 	}
 	const curves = 5000
 	sweep := mrc.Sweep{}
-	return timeRun("mrc-curve-construction", curves, func() error {
+	return timeRun("mrc-curve-construction", curves, o.reps(), func() error {
 		for range curves {
 			mrc.FromHistogram(res.ReuseDistance, res.Config.Granularity.BlockSize(), sweep)
 		}

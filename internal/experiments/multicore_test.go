@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMulticoreMergePreservesUntaggedRows is the merge contract: the
+// MULTICORE sweep owns only the gmp-tagged rows of the committed bench
+// records; the untagged single-setting rows (the 1-core baselines) and
+// the record's baseline/pool/wire sections survive a re-run untouched.
+func TestMulticoreMergePreservesUntaggedRows(t *testing.T) {
+	dir := t.TempDir()
+	engine := &EngineBenchResult{
+		Timestamp: "2026-01-01T00:00:00Z", GoMaxProcs: 1, Accesses: 1000, Period: 100,
+		Rows: []EngineBenchRow{
+			{Name: "machine-run-batched", Accesses: 1000, AccessesSec: 5e7},
+			{Name: "exact-oracle-auto/gmp=2", Accesses: 1000, AccessesSec: 1e6, GoMaxProcs: 2}, // stale sweep row
+		},
+		Baseline: []EngineBenchRow{{Name: "machine-run-batched", AccessesSec: 4e7}},
+	}
+	if err := engine.WriteJSON(filepath.Join(dir, "BENCH_engine.json")); err != nil {
+		t.Fatal(err)
+	}
+	srv := &ServerBenchResult{
+		Timestamp: "2026-01-01T00:00:00Z", GoMaxProcs: 1, Workers: 1, Accesses: 1000, Period: 100,
+		Rows: []ServerBenchRow{
+			{Sessions: 1, AccessesSec: 1e7},
+			{Sessions: 16, AccessesSec: 1e7, GoMaxProcs: 4, Workers: 4}, // stale sweep row
+		},
+		Wire: []WireBenchRow{{Workload: "strided", WireVersion: 3, CompressionRatio: 9.9}},
+	}
+	if err := srv.WriteJSON(filepath.Join(dir, "BENCH_server.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	o := Quick()
+	o.BenchDir = dir
+	fresh := []EngineBenchRow{{Name: "exact-oracle-auto/gmp=4", GoMaxProcs: 4, AccessesSec: 2e6}}
+	if err := o.mergeMulticoreEngine(fresh); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEngineBench(filepath.Join(dir, "BENCH_engine.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 2 || got.Rows[0].Name != "machine-run-batched" || got.Rows[1].Name != "exact-oracle-auto/gmp=4" {
+		t.Errorf("engine merge rows = %+v, want untagged row kept, stale sweep replaced", got.Rows)
+	}
+	if got.Rows[0].AccessesSec != 5e7 || len(got.Baseline) != 1 || got.Timestamp != "2026-01-01T00:00:00Z" {
+		t.Errorf("engine merge disturbed the committed record: %+v", got)
+	}
+
+	freshSrv := []ServerBenchRow{{Sessions: 4, GoMaxProcs: 4, Workers: 4, Throttled: true, AccessesSec: 3e7}}
+	if err := o.mergeMulticoreServer(freshSrv); err != nil {
+		t.Fatal(err)
+	}
+	gotSrv, err := ReadServerBench(filepath.Join(dir, "BENCH_server.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotSrv.Rows) != 2 || gotSrv.Rows[0].GoMaxProcs != 0 || !gotSrv.Rows[1].Throttled {
+		t.Errorf("server merge rows = %+v, want untagged row kept, stale sweep replaced", gotSrv.Rows)
+	}
+	if len(gotSrv.Wire) != 1 || gotSrv.Wire[0].CompressionRatio != 9.9 {
+		t.Errorf("server merge disturbed the wire section: %+v", gotSrv.Wire)
+	}
+}
+
+// TestServerBaselineMatchesConfigTuple: with sweep rows in the record,
+// AttachBaseline must pair rows by the full configuration tuple — a
+// throttled 16-session row must never take the plain 16-session row as
+// its baseline.
+func TestServerBaselineMatchesConfigTuple(t *testing.T) {
+	cur := &ServerBenchResult{Rows: []ServerBenchRow{
+		{Sessions: 16, AccessesSec: 2e7, AllocsPerBatch: 4},
+		{Sessions: 16, GoMaxProcs: 4, Workers: 4, Throttled: true, AccessesSec: 1e7},
+	}}
+	base := &ServerBenchResult{Rows: []ServerBenchRow{
+		{Sessions: 16, AccessesSec: 1e7, AllocsPerBatch: 8},
+		{Sessions: 16, GoMaxProcs: 4, Workers: 4, Throttled: true, AccessesSec: 2e7},
+	}}
+	cur.AttachBaseline(base)
+	if cur.Rows[0].VsBaseline != 2 || cur.Rows[0].AllocReduction != 0.5 {
+		t.Errorf("untagged row baseline = %+v, want 2x vs its untagged counterpart", cur.Rows[0])
+	}
+	if cur.Rows[1].VsBaseline != 0.5 {
+		t.Errorf("throttled row baseline = %+v, want 0.5x vs its throttled counterpart", cur.Rows[1])
+	}
+}
+
+// TestBenchGateNoiseThreshold: the gate must pass against a committed
+// record whose throughput is far above anything this machine can do
+// ONLY by failing — and pass when the committed row is far below. The
+// real check.sh invocation runs against the committed record.
+func TestBenchGateNoiseThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures real throughput")
+	}
+	dir := t.TempDir()
+	write := func(sec float64, spread float64) string {
+		r := &EngineBenchResult{
+			Accesses: 1 << 18, Period: 1 << 10,
+			Rows: []EngineBenchRow{
+				{Name: "machine-run-batched", Accesses: 1 << 18, AccessesSec: sec, Spread: spread},
+				{Name: "exact-oracle-sequential", Accesses: 1 << 18, AccessesSec: sec, Spread: spread},
+			},
+		}
+		path := filepath.Join(dir, "gate.json")
+		if err := r.WriteJSON(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	o := Quick()
+	o.Out = nil
+	// Committed throughput of 1 access/sec: any real measurement clears
+	// the floor.
+	if err := o.RunBenchGate(write(1, 0)); err != nil {
+		t.Errorf("gate failed against a trivially low committed row: %v", err)
+	}
+	// Committed throughput beyond any machine: the measured median sits
+	// under the floor even with the 25% noise floor, so the gate fires.
+	if err := o.RunBenchGate(write(1e15, 0)); err == nil {
+		t.Error("gate passed against an unreachable committed row")
+	}
+	os.Remove(filepath.Join(dir, "gate.json"))
+}

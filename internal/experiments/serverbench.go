@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -36,6 +37,33 @@ type ServerBenchRow struct {
 	// AllocReduction is the fractional drop in AllocsPerBatch against
 	// the baseline row (0.8 = 80% fewer allocations per batch).
 	AllocReduction float64 `json:"alloc_reduction,omitempty"`
+	// GoMaxProcs and Workers tag rows from the multicore sweep
+	// (MULTICORE); 0 marks default rows, whose record-level fields
+	// apply. Rows only compare within the same tag tuple.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	Workers    int `json:"workers,omitempty"`
+	// Throttled marks rows run with a per-batch StepDelay on the
+	// server, modelling a fixed service latency per batch (downstream
+	// I/O, checkpoint fsync): their ScalingVs1 demonstrates how the
+	// executor overlaps that latency across sessions, NOT CPU-parallel
+	// speedup, and must never be compared against unthrottled rows.
+	Throttled bool `json:"throttled,omitempty"`
+	// Reps, MinAccessesSec, MaxAccessesSec and Spread record
+	// measurement variance when the row was repeated: Seconds,
+	// AccessesSec and AllocsPerBatch come from the median-throughput
+	// rep, Spread is (max-min)/median throughput.
+	Reps           int     `json:"reps,omitempty"`
+	MinAccessesSec float64 `json:"min_accesses_per_sec,omitempty"`
+	MaxAccessesSec float64 `json:"max_accesses_per_sec,omitempty"`
+	Spread         float64 `json:"spread,omitempty"`
+}
+
+// sameConfig reports whether two rows measure the same configuration —
+// the baseline-matching key. Session count alone stopped being unique
+// once the multicore sweep added GOMAXPROCS/worker/throttle variants.
+func (r ServerBenchRow) sameConfig(b ServerBenchRow) bool {
+	return r.Sessions == b.Sessions && r.GoMaxProcs == b.GoMaxProcs &&
+		r.Workers == b.Workers && r.Throttled == b.Throttled
 }
 
 // ServerBenchResult is the machine-readable service performance record
@@ -67,7 +95,8 @@ type ServerBenchResult struct {
 
 // AttachBaseline records base's rows as the pre-change baseline and
 // fills each current row's VsBaseline and AllocReduction from the
-// baseline row with the same session count.
+// baseline row with the same configuration (session count, GOMAXPROCS,
+// workers, throttling).
 func (r *ServerBenchResult) AttachBaseline(base *ServerBenchResult) {
 	if base == nil {
 		return
@@ -75,7 +104,7 @@ func (r *ServerBenchResult) AttachBaseline(base *ServerBenchResult) {
 	r.Baseline = base.Rows
 	for i := range r.Rows {
 		for _, b := range base.Rows {
-			if b.Sessions != r.Rows[i].Sessions {
+			if !r.Rows[i].sameConfig(b) {
 				continue
 			}
 			if b.AccessesSec > 0 {
@@ -134,6 +163,65 @@ func StreamSessions(addr string, sessions int, perSession []mem.Access, cfg core
 	return nil
 }
 
+// measureServerRow streams `sessions` concurrent runs (o.Accesses
+// split evenly, so total work is constant across session counts)
+// against addr, o.reps() times, and returns the median-throughput rep
+// as a row with the variance band filled in.
+func (o Options) measureServerRow(addr string, sessions int, cfg core.Config) (ServerBenchRow, error) {
+	n := o.Accesses / uint64(sessions)
+	accs, err := trace.Collect(trace.ZipfAccess(o.Seed, 0, 1<<14, 1.0, n))
+	if err != nil {
+		return ServerBenchRow{}, err
+	}
+	total := n * uint64(sessions)
+	batchesPerSession := (n + streamBatchSize - 1) / streamBatchSize
+	batches := batchesPerSession * uint64(sessions)
+
+	type rep struct {
+		seconds float64
+		allocs  float64
+	}
+	reps := make([]rep, 0, o.reps())
+	for i := 0; i < o.reps(); i++ {
+		// Mallocs delta around the run gives allocations per batch for
+		// the whole pipeline; a GC first keeps dead warm-up garbage from
+		// inflating the count.
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		if err := StreamSessions(addr, sessions, accs, cfg); err != nil {
+			return ServerBenchRow{}, fmt.Errorf("server bench (%d sessions): %w", sessions, err)
+		}
+		el := time.Since(start).Seconds()
+		runtime.ReadMemStats(&m1)
+		r := rep{seconds: el}
+		if batches > 0 {
+			r.allocs = float64(m1.Mallocs-m0.Mallocs) / float64(batches)
+		}
+		reps = append(reps, r)
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].seconds < reps[j].seconds })
+	med := reps[len(reps)/2]
+
+	row := ServerBenchRow{
+		Sessions: sessions, Accesses: total, Batches: batches,
+		Seconds: med.seconds, AllocsPerBatch: med.allocs,
+	}
+	if med.seconds > 0 {
+		row.AccessesSec = float64(total) / med.seconds
+	}
+	if len(reps) > 1 {
+		row.Reps = len(reps)
+		row.MinAccessesSec = float64(total) / reps[len(reps)-1].seconds
+		row.MaxAccessesSec = float64(total) / reps[0].seconds
+		if row.AccessesSec > 0 {
+			row.Spread = (row.MaxAccessesSec - row.MinAccessesSec) / row.AccessesSec
+		}
+	}
+	return row, nil
+}
+
 // RunServerBench measures rdxd streaming throughput over loopback at 1,
 // 4 and 16 concurrent sessions. Total work is held constant across
 // rows (o.Accesses accesses split evenly), so ScalingVs1 isolates how
@@ -162,34 +250,9 @@ func (o Options) RunServerBench() (*ServerBenchResult, error) {
 	defer s.Close()
 
 	for _, sessions := range []int{1, 4, 16} {
-		n := o.Accesses / uint64(sessions)
-		accs, err := trace.Collect(trace.ZipfAccess(o.Seed, 0, 1<<14, 1.0, n))
+		row, err := o.measureServerRow(s.Addr(), sessions, cfg)
 		if err != nil {
 			return nil, err
-		}
-		total := n * uint64(sessions)
-		batchesPerSession := (n + streamBatchSize - 1) / streamBatchSize
-		batches := batchesPerSession * uint64(sessions)
-
-		// Mallocs delta around the run gives allocations per batch for
-		// the whole pipeline; a GC first keeps dead warm-up garbage from
-		// inflating the count.
-		runtime.GC()
-		var m0, m1 runtime.MemStats
-		runtime.ReadMemStats(&m0)
-		start := time.Now()
-		if err := StreamSessions(s.Addr(), sessions, accs, cfg); err != nil {
-			return nil, fmt.Errorf("server bench (%d sessions): %w", sessions, err)
-		}
-		el := time.Since(start).Seconds()
-		runtime.ReadMemStats(&m1)
-
-		row := ServerBenchRow{Sessions: sessions, Accesses: total, Batches: batches, Seconds: el}
-		if el > 0 {
-			row.AccessesSec = float64(total) / el
-		}
-		if batches > 0 {
-			row.AllocsPerBatch = float64(m1.Mallocs-m0.Mallocs) / float64(batches)
 		}
 		if len(res.Rows) > 0 && res.Rows[0].AccessesSec > 0 {
 			row.ScalingVs1 = row.AccessesSec / res.Rows[0].AccessesSec

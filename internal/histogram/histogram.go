@@ -80,6 +80,16 @@ type Histogram struct {
 // New returns an empty histogram.
 func New() *Histogram { return &Histogram{} }
 
+// Assemble builds a histogram directly from its components: per-bucket
+// weights (bucket b of the slice is bucket b of the histogram), the
+// cold weight, and the raw observation count. It exists for mergers
+// that accumulate bucket weights out of band (e.g. in extended
+// precision) and need to materialize the result; the slice is owned by
+// the histogram afterwards.
+func Assemble(buckets []float64, cold float64, count uint64) *Histogram {
+	return &Histogram{buckets: buckets, cold: cold, count: count}
+}
+
 // Add records value v with weight w. Infinite records a cold access.
 func (h *Histogram) Add(v uint64, w float64) {
 	h.count++

@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"bytes"
+	"math"
 	"runtime"
 	"sync"
 	"testing"
@@ -161,6 +162,100 @@ func TestSteadyStateAllocs16Sessions(t *testing.T) {
 			t.Fatal(err)
 		}
 		c.Close()
+	}
+}
+
+// TestAllocCreepRatio16v1 gates the BENCH_server.json allocation-creep
+// ratio: allocs/batch at 16 sessions divided by allocs/batch at 1
+// session, with total work held constant (the bench's shape). The
+// per-batch cost decomposes as
+//
+//	allocs/batch = steady + fixed*sessions/totalBatches
+//
+// where `steady` is the pooled streaming cost (≈0, gated separately by
+// TestSteadyStateAllocs16Sessions) and `fixed` is the per-session
+// lifecycle cost — JSON handshake and result codec, TCP dial, profiler
+// construction — that no pool can remove. At 16 sessions the fixed term
+// is amortized over 16x fewer batches per session, so a ratio well
+// above 1 is structural, not a leak. What the gate catches is the fixed
+// term growing: before per-connection state (client bufio, encode
+// scratch, column buffers, frame payloads, server free rings) moved to
+// cross-session pools, a client-side lifecycle alone cost ~194
+// allocations and 1.4 MB; pooled it costs ~175 allocations and ~210 kB
+// (BenchmarkSessionChurn), and the whole-process fixed term — both
+// sides of the wire plus the open checkpoint — measures ~320, so at
+// this window size (16*320/512) the ratio lands near 10. The gate at
+// 14 leaves ~40% headroom on the fixed term while firing long before
+// unpooled per-session buffers could silently return.
+func TestAllocCreepRatio16v1(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	const (
+		totalBatches = 512 // constant across windows, like the bench
+		batchSize    = 4096
+		maxRatio     = 14.0
+	)
+	accs, err := trace.Collect(trace.ZipfAccess(23, 0, 1<<14, 1.0, batchSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := start(t, server.Config{CheckpointEvery: -1})
+
+	// One full session lifecycle per goroutine: dial, open, stream,
+	// finish, close — the same unit the bench amortizes.
+	window := func(sessions int) float64 {
+		per := totalBatches / sessions
+		run := func() error {
+			c, err := wire.Dial(s.Addr())
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			if _, err := c.Open(testConfig(4096)); err != nil {
+				return err
+			}
+			for i := 0; i < per; i++ {
+				if err := c.SendBatch(accs); err != nil {
+					return err
+				}
+			}
+			_, err = c.Finish()
+			return err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		var wg sync.WaitGroup
+		errs := make([]error, sessions)
+		for i := 0; i < sessions; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = run()
+			}(i)
+		}
+		wg.Wait()
+		runtime.ReadMemStats(&after)
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(after.Mallocs-before.Mallocs) / totalBatches
+	}
+
+	window(16) // warm cross-session pools outside the measured windows
+	one := window(1)
+	sixteen := window(16)
+	// Epsilon floor: the denominator is a handful of allocs per batch;
+	// an unluckily clean 1-session window must not inflate the ratio.
+	ratio := sixteen / math.Max(one, 1.0)
+	t.Logf("allocs/batch: 1 session %.2f, 16 sessions %.2f, ratio %.2f (gate %v)",
+		one, sixteen, ratio, maxRatio)
+	if ratio > maxRatio {
+		t.Errorf("16-session/1-session allocs-per-batch ratio %.2f exceeds %v: per-session fixed cost regressed",
+			ratio, maxRatio)
 	}
 }
 

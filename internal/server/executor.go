@@ -1,0 +1,272 @@
+package server
+
+import "sync"
+
+// The executor replaces the runner-goroutine-per-session model with a
+// fixed worker set (Config.Workers, default GOMAXPROCS) multiplexing
+// every session's work. Each worker owns a deque of runnable sessions;
+// new work is injected through a shared queue, and an idle worker
+// steals from its siblings' deques before parking. The scheduling unit
+// is a session *step* (up to stepQuantum queue items), so one firehose
+// session cannot pin a worker while its siblings starve.
+//
+// The correctness invariant is ownership: a session is executed by at
+// most one worker at a time. It is enforced by the sched state machine
+// below — a session enters a deque only through the sessIdle→sessQueued
+// or sessRunningQueued→sessQueued transitions, each of which is a
+// single CAS, so a session is never present in two deques (or a deque
+// and a running worker) at once. Per-session batch order is therefore
+// exactly what it was with dedicated runners, and results stay
+// bit-identical no matter how steps interleave across workers.
+
+// Session scheduling states (session.sched). Transitions:
+//
+//	Idle ──notify──▶ Queued ──worker pop──▶ Running ──┬─▶ Idle   (queue empty)
+//	                   ▲                              ├─▶ Queued (more work / notified while running)
+//	                   └───────◀──────────────────────┘
+//	                                       Running ───▶ Done    (finish/fail/disconnect/migrate)
+//
+// A notify during Running moves to RunningQueued, which the owning
+// worker resolves to Queued (re-enqueue) when the step ends — the
+// wakeup is never lost, and the session never runs twice concurrently.
+const (
+	sessIdle int32 = iota
+	sessQueued
+	sessRunning
+	sessRunningQueued
+	sessDone
+)
+
+type executor struct {
+	srv     *Server
+	workers []*execWorker
+
+	// mu guards inject, gen, and closed. gen is a wakeup generation
+	// counter: every submission bumps it, and a worker about to park
+	// re-scans if gen moved since its last empty scan — the classic
+	// check-then-sleep race cannot lose a wakeup.
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inject []*session
+	gen    uint64
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// execWorker is one executor worker: an OS-thread-agnostic goroutine
+// plus the deque of sessions it currently owns. The deque is head/tail
+// ordered: the owner pops from the tail and re-enqueues at the head, so
+// its own sessions round-robin; thieves pop from the head, taking the
+// session the owner would reach last.
+type execWorker struct {
+	id int
+	mu sync.Mutex
+	dq []*session
+}
+
+func newExecutor(srv *Server, workers int) *executor {
+	e := &executor{srv: srv, workers: make([]*execWorker, workers)}
+	e.cond = sync.NewCond(&e.mu)
+	for i := range e.workers {
+		e.workers[i] = &execWorker{id: i}
+	}
+	return e
+}
+
+func (e *executor) start() {
+	for _, w := range e.workers {
+		e.wg.Add(1)
+		go e.run(w)
+	}
+}
+
+// close stops the workers after all sessions have finished (the server
+// waits out its connection goroutines first, so no deque holds work).
+func (e *executor) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	e.wg.Wait()
+}
+
+// notify tells the executor sess may have runnable work (an item was
+// enqueued, the queue closed, or a migration order arrived). It is safe
+// from any goroutine and idempotent: at most one wakeup is ever
+// outstanding per session, and a session already running absorbs the
+// notify into its re-enqueue decision.
+func (e *executor) notify(sess *session) {
+	if !sess.admitted.Load() {
+		// Handshake still in flight: handleConn kicks the session once
+		// its queue and writer exist, and re-checks everything then.
+		return
+	}
+	for {
+		switch sess.sched.Load() {
+		case sessIdle:
+			if sess.sched.CompareAndSwap(sessIdle, sessQueued) {
+				e.submit(sess)
+				return
+			}
+		case sessRunning:
+			if sess.sched.CompareAndSwap(sessRunning, sessRunningQueued) {
+				return
+			}
+		default:
+			// Queued, RunningQueued, Done: a wakeup is already owed (or
+			// can never matter again).
+			return
+		}
+	}
+}
+
+// submit places a newly-runnable session on the inject queue and wakes
+// a parked worker.
+func (e *executor) submit(sess *session) {
+	e.mu.Lock()
+	e.inject = append(e.inject, sess)
+	e.gen++
+	e.mu.Unlock()
+	e.cond.Signal()
+}
+
+// requeue puts a session a worker just stepped back on that worker's
+// own deque, then advertises it so a parked sibling can steal it.
+func (e *executor) requeue(w *execWorker, sess *session) {
+	w.pushHead(sess)
+	e.mu.Lock()
+	e.gen++
+	e.mu.Unlock()
+	e.cond.Signal()
+}
+
+func (w *execWorker) pushHead(sess *session) {
+	w.mu.Lock()
+	w.dq = append(w.dq, nil)
+	copy(w.dq[1:], w.dq)
+	w.dq[0] = sess
+	w.mu.Unlock()
+}
+
+func (w *execWorker) popTail() *session {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.dq)
+	if n == 0 {
+		return nil
+	}
+	sess := w.dq[n-1]
+	w.dq[n-1] = nil
+	w.dq = w.dq[:n-1]
+	return sess
+}
+
+func (w *execWorker) popHead() *session {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.dq)
+	if n == 0 {
+		return nil
+	}
+	sess := w.dq[0]
+	copy(w.dq, w.dq[1:])
+	w.dq[n-1] = nil
+	w.dq = w.dq[:n-1]
+	return sess
+}
+
+func (e *executor) run(w *execWorker) {
+	defer e.wg.Done()
+	for {
+		sess := e.next(w)
+		if sess == nil {
+			return
+		}
+		e.step(w, sess)
+	}
+}
+
+// next finds the next session for w to step: its own deque first, then
+// the inject queue, then a steal sweep over the other workers' deques;
+// empty-handed, it parks until a submission bumps the generation
+// counter.
+func (e *executor) next(w *execWorker) *session {
+	for {
+		e.mu.Lock()
+		gen := e.gen
+		if e.closed {
+			e.mu.Unlock()
+			return nil
+		}
+		if n := len(e.inject); n > 0 {
+			sess := e.inject[0]
+			copy(e.inject, e.inject[1:])
+			e.inject[n-1] = nil
+			e.inject = e.inject[:n-1]
+			e.mu.Unlock()
+			return sess
+		}
+		e.mu.Unlock()
+
+		if sess := w.popTail(); sess != nil {
+			return sess
+		}
+		for i := 1; i < len(e.workers); i++ {
+			victim := e.workers[(w.id+i)%len(e.workers)]
+			if sess := victim.popHead(); sess != nil {
+				e.srv.metrics.executorSteals.Add(1)
+				return sess
+			}
+		}
+
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return nil
+		}
+		if e.gen == gen {
+			// Nothing was submitted since the (empty) scan above began;
+			// any later submission will Signal us out of the Wait.
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
+	}
+}
+
+// step runs one scheduling quantum of sess on w and resolves the
+// session's next state. Ownership holds throughout: sess left the
+// runnable set when it was popped, and rejoins it (or goes idle/done)
+// only here.
+func (e *executor) step(w *execWorker, sess *session) {
+	sess.sched.Store(sessRunning)
+	e.srv.metrics.executorSteps.Add(1)
+	switch e.srv.sessionStep(sess) {
+	case stepDone:
+		sess.sched.Store(sessDone)
+		close(sess.done)
+	case stepMore:
+		// Quantum exhausted with work still queued: straight back to the
+		// runnable set regardless of how notify raced.
+		for {
+			if sess.sched.CompareAndSwap(sessRunning, sessQueued) ||
+				sess.sched.CompareAndSwap(sessRunningQueued, sessQueued) {
+				e.requeue(w, sess)
+				return
+			}
+		}
+	default: // stepYield
+		for {
+			if sess.sched.CompareAndSwap(sessRunning, sessIdle) {
+				// Queue was empty; the next notify re-submits.
+				return
+			}
+			if sess.sched.CompareAndSwap(sessRunningQueued, sessQueued) {
+				// Notified mid-step: there may be work the step's last
+				// poll missed, so run again rather than risk stranding it.
+				e.requeue(w, sess)
+				return
+			}
+		}
+	}
+}

@@ -33,8 +33,13 @@ type metrics struct {
 	checkpointBytes  atomic.Uint64 // cumulative checkpoint blob bytes
 	whatifRequests   atomic.Uint64 // POST /whatif analysis queries
 
+	// Executor counters: scheduling quanta run and how many of them a
+	// worker took from a sibling's deque instead of its own.
+	executorSteps  atomic.Uint64
+	executorSteals atomic.Uint64
+
 	// Control-plane counters.
-	migrationsOrdered atomic.Uint64 // migration orders delivered to runners
+	migrationsOrdered atomic.Uint64 // migration orders delivered to sessions
 	handoffsOut       atomic.Uint64 // sessions handed off to another backend
 	handoffsIn        atomic.Uint64 // sessions installed from another backend
 	handoffFailures   atomic.Uint64 // handoff pushes a destination refused
@@ -133,6 +138,13 @@ type Metrics struct {
 	CheckpointBytes  uint64 `json:"checkpoint_bytes"`
 	WhatIfRequests   uint64 `json:"whatif_requests"`
 
+	// Executor gauges: the fixed worker count, total scheduling quanta
+	// executed, and how many quanta were stolen from a sibling's deque —
+	// steals > 0 under load is the work-stealing path proving out.
+	ExecutorWorkers int    `json:"executor_workers"`
+	ExecutorSteps   uint64 `json:"executor_steps"`
+	ExecutorSteals  uint64 `json:"executor_steals"`
+
 	// Control-plane counters: live migration traffic in and out.
 	MigrationsOrdered uint64 `json:"migrations_ordered"`
 	HandoffsOut       uint64 `json:"handoffs_out"`
@@ -202,6 +214,10 @@ func (s *Server) MetricsSnapshot() Metrics {
 		CheckpointsTotal: m.checkpointsTotal.Load(),
 		CheckpointBytes:  m.checkpointBytes.Load(),
 		WhatIfRequests:   m.whatifRequests.Load(),
+
+		ExecutorWorkers: s.cfg.Workers,
+		ExecutorSteps:   m.executorSteps.Load(),
+		ExecutorSteals:  m.executorSteals.Load(),
 
 		MigrationsOrdered: m.migrationsOrdered.Load(),
 		HandoffsOut:       m.handoffsOut.Load(),

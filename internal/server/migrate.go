@@ -171,24 +171,26 @@ func rotateTargets(targets []MigrateTarget, i int) []MigrateTarget {
 	return append(out, targets[:off]...)
 }
 
-// orderMigration delivers one migration order to a session's runner
-// (non-blocking: an order already pending is not duplicated).
+// orderMigration delivers one migration order to a session
+// (non-blocking: an order already pending is not duplicated) and wakes
+// the executor so an idle session acts on it immediately.
 func (s *Server) orderMigration(sess *session, targets []MigrateTarget) bool {
 	select {
 	case sess.migrate <- migrateOrder{targets: targets}:
 		s.metrics.migrationsOrdered.Add(1)
+		s.exec.notify(sess)
 		return true
 	default:
 		return false
 	}
 }
 
-// migrateSession executes a migration order on the runner goroutine
-// (the machine is quiescent at a batch boundary): durable local
-// checkpoint, handoff to the first willing target, tombstone, client
-// redirect. It reports whether the session was handed off — true means
-// the runner must exit; false means every target refused and the
-// session keeps running here.
+// migrateSession executes a migration order on the worker that owns
+// the session's current step (the machine is quiescent at a batch
+// boundary): durable local checkpoint, handoff to the first willing
+// target, tombstone, client redirect. It reports whether the session
+// was handed off — true means the session is terminal here; false means
+// every target refused and the session keeps running.
 func (s *Server) migrateSession(sess *session, bw *bufio.Writer, ord migrateOrder) bool {
 	if sess.completed {
 		return false

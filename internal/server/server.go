@@ -5,15 +5,20 @@
 //
 // # Concurrency model
 //
-// Each connection owns two goroutines: a reader that decodes frames
-// into a bounded per-session queue, and a runner that drains the queue,
-// executes batches, and writes every reply frame (single-writer, so
-// replies never interleave). Engine execution across all sessions is
-// bounded by a semaphore of Config.Workers slots; sessions beyond that
-// wait their turn. Backpressure is emergent: a full session queue
-// blocks the reader, the kernel's TCP window fills, and the client's
-// SendBatch blocks — per-session server memory stays bounded by
-// QueueDepth×MaxBatch regardless of how fast the client produces.
+// Each connection owns a reader goroutine that decodes frames into a
+// bounded per-session queue. Decode/execute work is drained by a fixed
+// work-stealing executor (see executor.go): Config.Workers workers
+// (default GOMAXPROCS), each with a deque of runnable sessions, stealing
+// from siblings when their own deque runs dry. A session is owned by at
+// most one worker at a time, so its batches execute in queue order and
+// its reply frames never interleave (single-writer per connection) —
+// results are bit-identical to the old runner-per-session model, but N
+// sessions cost N reader goroutines plus a constant worker set instead
+// of 2N goroutines, and execution parallelism tracks GOMAXPROCS exactly.
+// Backpressure is emergent: a full session queue blocks the reader, the
+// kernel's TCP window fills, and the client's SendBatch blocks —
+// per-session server memory stays bounded by QueueDepth×MaxBatch
+// regardless of how fast the client produces.
 //
 // # Drain semantics
 //
@@ -53,6 +58,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -71,9 +77,10 @@ type Config struct {
 	// AdminAddr, when non-empty, serves /healthz and /metrics on a
 	// separate HTTP listener.
 	AdminAddr string
-	// Workers bounds concurrent engine execution across all sessions
-	// (default GOMAXPROCS via runtime behavior of 0 → numCPU is not
-	// assumed; 0 means 4).
+	// Workers sizes the executor's fixed worker set — the bound on
+	// concurrent engine execution across all sessions (default
+	// runtime.GOMAXPROCS(0), matching the parallelism the Go scheduler
+	// can actually deliver).
 	Workers int
 	// QueueDepth is the per-session bounded batch queue (default 8).
 	// Together with MaxBatch it caps per-session buffered memory.
@@ -150,7 +157,7 @@ func (c *Config) fill() {
 		c.Addr = "127.0.0.1:0"
 	}
 	if c.Workers <= 0 {
-		c.Workers = 4
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 8
@@ -203,7 +210,7 @@ type Server struct {
 	ln      net.Listener
 	adminLn net.Listener
 	admin   *http.Server
-	sem     chan struct{} // worker slots
+	exec    *executor // work-stealing session executor
 
 	mu       sync.Mutex
 	sessions map[uint64]*session
@@ -223,6 +230,9 @@ type Server struct {
 	metrics  metrics
 	ckpts    *ckptStore
 	stopRate chan struct{}
+	// ringsPool recirculates session free-ring channel pairs (see
+	// handleConn); per-server because their capacity is QueueDepth+2.
+	ringsPool sync.Pool
 
 	// ckptq feeds the serial checkpoint writer goroutine: blob capture
 	// stays on each session's runner (it needs the machine quiescent),
@@ -263,7 +273,6 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		ln:       ln,
-		sem:      make(chan struct{}, cfg.Workers),
 		sessions: make(map[uint64]*session),
 		tokens:   make(map[string]struct{}),
 		moved:    make(map[string]wire.Moved),
@@ -272,6 +281,7 @@ func New(cfg Config) (*Server, error) {
 		ckptq:    make(chan ckptReq, 16),
 		ckptDone: make(chan struct{}),
 	}
+	s.exec = newExecutor(s, cfg.Workers)
 	if cfg.AdminAddr != "" {
 		adminLn, err := net.Listen("tcp", cfg.AdminAddr)
 		if err != nil {
@@ -356,6 +366,7 @@ func (s *Server) AdminAddr() string {
 // Start launches the accept loop (and admin server, if configured) in
 // the background and returns immediately.
 func (s *Server) Start() {
+	s.exec.start()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	go s.metrics.rateLoop(s.stopRate)
@@ -443,9 +454,13 @@ func (s *Server) finishClose() {
 	if already {
 		return
 	}
-	// Every enqueuer runs inside s.wg, which has drained by now, so the
-	// queue can close; waiting for the writer makes Shutdown/Close imply
-	// "all requested checkpoints are durable".
+	// s.wg has drained, so every session is done and the executor's
+	// deques are empty; its workers (which enqueue checkpoints) must stop
+	// before the checkpoint queue can close.
+	s.exec.close()
+	// Every remaining enqueuer ran inside s.wg, so the queue can close;
+	// waiting for the writer makes Shutdown/Close imply "all requested
+	// checkpoints are durable".
 	close(s.ckptq)
 	<-s.ckptDone
 	close(s.stopRate)
@@ -492,6 +507,13 @@ func (s *Server) unregister(id uint64) {
 	if ok {
 		s.metrics.sessionsActive.Add(-1)
 	}
+}
+
+// sessionRings is a recirculating free-ring channel pair, pooled across
+// one server's sessions (Server.ringsPool).
+type sessionRings struct {
+	bufs chan []mem.Access
+	cols chan *trace.Columns
 }
 
 // Connection-buffer pools: sessions come and go, but their bufio
@@ -632,42 +654,58 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 
-	queue := make(chan item, s.cfg.QueueDepth)
-	// freeBufs recirculates decoded-batch buffers from the runner back
+	sess.queue = make(chan item, s.cfg.QueueDepth)
+	// freeBufs recirculates decoded-batch buffers from the executor back
 	// to the reader: sized one past the queue so a buffer is always
 	// returnable without blocking, and the session's steady state runs
 	// on a fixed set of buffers — zero allocations per batch. freeCols
 	// is its v3 analogue for columnar scratch. Both seed from (and drain
 	// back to) process-wide pools, so the buffers outlive the session
-	// and back-to-back sessions stop allocating them afresh.
-	freeBufs := make(chan []mem.Access, s.cfg.QueueDepth+2)
-	freeCols := make(chan *trace.Columns, s.cfg.QueueDepth+2)
-	runnerDone := make(chan struct{})
-	go s.readLoop(sess, br, queue, freeBufs, freeCols, runnerDone)
-	s.runLoop(sess, bw, queue, freeBufs, freeCols)
-	// Unblock a reader stuck enqueueing if the runner bailed early
-	// (reply write failed); otherwise it would hold its batch forever.
-	close(runnerDone)
-	// Drain whatever the reader had queued before it noticed, keeping
-	// the pipeline-depth gauge honest.
-	for it := range queue {
+	// and back-to-back sessions stop allocating them afresh. The channel
+	// pair recirculates across this server's sessions too — contents and
+	// all, since the rings are never closed and every buffer in them is
+	// re-sliced before use (ringsPool is per-server, so the capacities
+	// always match this server's queue depth).
+	if r, _ := s.ringsPool.Get().(*sessionRings); r != nil {
+		sess.freeBufs, sess.freeCols = r.bufs, r.cols
+	} else {
+		sess.freeBufs = make(chan []mem.Access, s.cfg.QueueDepth+2)
+		sess.freeCols = make(chan *trace.Columns, s.cfg.QueueDepth+2)
+	}
+	sess.bw = bw
+	sess.done = make(chan struct{})
+	// Admit the session to the executor before the reader starts; the
+	// unconditional kick picks up any migration order that raced the
+	// handshake (notify was a no-op until admitted flipped).
+	sess.admitted.Store(true)
+	s.exec.notify(sess)
+	go s.readLoop(sess, br)
+	// The executor closes done after the session's terminal step
+	// (finish, protocol error, disconnect, or migration handoff).
+	<-sess.done
+	// The reader exits once it notices (its blocked enqueue aborts on
+	// done, or its next read fails); drain whatever it had queued,
+	// keeping the pipeline-depth gauge honest.
+	for it := range sess.queue {
 		if it.kind == itemBatch {
 			s.metrics.pipelineDepth.Add(-1)
-			wire.PutColumns(it.cols)
+			if it.cols != nil {
+				wire.PutColumns(it.cols)
+			} else {
+				putBatchBuf(it.batch)
+			}
 		}
 	}
-	// Return the session's recirculating scratch to the global pools.
-	for {
-		select {
-		case buf := <-freeBufs:
-			putBatchBuf(buf)
-		case c := <-freeCols:
-			wire.PutColumns(c)
-		default:
-			goto drained
-		}
+	// Hand the session's recirculating scratch — the ring channels with
+	// whatever buffers they hold — to the next session on this server.
+	s.ringsPool.Put(&sessionRings{bufs: sess.freeBufs, cols: sess.freeCols})
+	if sess.failed {
+		// The worker wrote the error frame, armed the linger deadline,
+		// and moved on; this connection goroutine absorbs the linger so
+		// our close cannot become a TCP reset that discards the frame
+		// before the client reads it.
+		io.Copy(io.Discard, conn)
 	}
-drained:
 	// The reader and runner are both done with the profiler now; a
 	// disconnect checkpoint lets the client resume mid-stream. (It runs
 	// before the deferred unregister frees the token, so a racing
@@ -741,8 +779,9 @@ func (s *Server) resumeSession(conn net.Conn, req wire.OpenRequest) (*session, e
 
 // checkpointSession captures the session's full profiler state and
 // waits for the checkpoint writer to make it durable. Capture must only
-// run while the session's machine is quiescent (from the runner
-// goroutine, or after both loops exit); the writer does the rest.
+// run while the session's machine is quiescent (from the worker
+// stepping the session, or after its terminal step); the writer does
+// the rest.
 func (s *Server) checkpointSession(sess *session) error {
 	done := make(chan error, 1)
 	s.enqueueCheckpoint(sess, done)
@@ -832,21 +871,28 @@ func putBatchBuf(buf []mem.Access) {
 // readLoop decodes frames into the session queue. It is the only
 // sender on queue and closes it when the session's inbound side ends —
 // after Finish, on protocol error (itemFail carries it), or when the
-// connection dies (sess.dead is set so the runner discards leftovers).
-// Each frame gets a fresh read deadline; a client silent for longer
-// loses the connection and resumes from the disconnect checkpoint.
+// connection dies (sess.dead is set so the executor discards
+// leftovers). Every enqueue — and the close — notifies the executor, so
+// an idle session is rescheduled the moment work exists. Each frame
+// gets a fresh read deadline; a client silent for longer loses the
+// connection and resumes from the disconnect checkpoint.
 //
 // The loop is allocation-free at steady state: frame payloads come from
 // the wire package's pooled buffers and go back the moment decoding
-// ends, and decode targets are recirculated batch buffers the runner
+// ends, and decode targets are recirculated batch buffers the executor
 // returns through freeBufs after execution.
-func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, freeBufs <-chan []mem.Access, freeCols <-chan *trace.Columns, runnerDone <-chan struct{}) {
-	defer close(queue)
+func (s *Server) readLoop(sess *session, br *bufio.Reader) {
+	queue, freeBufs, freeCols := sess.queue, sess.freeBufs, sess.freeCols
+	defer func() {
+		close(queue)
+		s.exec.notify(sess)
+	}()
 	enqueue := func(it item) bool {
 		select {
 		case queue <- it:
+			s.exec.notify(sess)
 			return true
-		case <-runnerDone:
+		case <-sess.done:
 			return false
 		}
 	}
@@ -946,18 +992,74 @@ func (s *Server) readLoop(sess *session, br *bufio.Reader, queue chan<- item, fr
 // discards the frame before the client reads it.
 const errorLinger = 2 * time.Second
 
-// runLoop drains the session queue: executes batches under the worker
-// semaphore (discarding replayed duplicates by sequence number),
-// answers snapshots and syncs, and emits the final result. It is the
-// only writer on bw after the open handshake, and every reply write
-// runs under the configured write deadline.
-func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item, freeBufs chan<- []mem.Access, freeCols chan<- *trace.Columns) {
+// stepStatus is a sessionStep verdict, telling the executor what to do
+// with the session next.
+type stepStatus int
+
+const (
+	stepYield stepStatus = iota // queue empty at poll time; reschedule on the next notify
+	stepMore                    // quantum exhausted with work still pending
+	stepDone                    // terminal: finished, failed, disconnected, or migrated
+)
+
+// stepQuantum bounds the queue items one scheduling step may process
+// before the session rotates back through the runnable set, so one
+// firehose session cannot pin an executor worker while siblings wait.
+const stepQuantum = 16
+
+// sessionStep runs one scheduling quantum of a session on the executor
+// worker that owns it for the duration of the call: migration orders
+// first (they land at batch boundaries, which is exactly between
+// items), then up to stepQuantum queue items. Replayed duplicates are
+// discarded by sequence number, snapshots and syncs answered inline,
+// and the final result emitted on Finish. The owning worker is the only
+// writer on sess.bw, and every reply write runs under the configured
+// write deadline.
+func (s *Server) sessionStep(sess *session) stepStatus {
+	for i := 0; i < stepQuantum; i++ {
+		select {
+		case ord := <-sess.migrate:
+			// A handed-off session is terminal here; one that every
+			// target refused keeps running.
+			if s.migrateSession(sess, sess.bw, ord) {
+				return stepDone
+			}
+		default:
+		}
+		select {
+		case it, ok := <-sess.queue:
+			if !ok {
+				// Queue closed without Finish: the connection dropped or
+				// the client abandoned the session. handleConn takes the
+				// disconnect checkpoint once done is signaled.
+				if n := sess.accesses.Load(); n > 0 {
+					s.cfg.Logf("rdxd: session %d disconnected after %d accesses", sess.id, n)
+				}
+				return stepDone
+			}
+			if s.processItem(sess, it) {
+				return stepDone
+			}
+		default:
+			return stepYield
+		}
+	}
+	return stepMore
+}
+
+// processItem executes one queue item; true means the session reached
+// a terminal state and must not be stepped again.
+func (s *Server) processItem(sess *session, it item) (done bool) {
+	bw := sess.bw
 	fail := func(err error) {
 		s.armWrite(sess.conn)
 		wire.WriteFrame(bw, wire.FrameError, []byte(err.Error()))
 		bw.Flush()
+		// Arm the linger window now but don't sit in it: the worker
+		// moves on, and handleConn absorbs the linger (sess.failed)
+		// before closing the connection.
 		sess.conn.SetReadDeadline(time.Now().Add(errorLinger))
-		io.Copy(io.Discard, sess.conn)
+		sess.failed = true
 	}
 	// recycle returns a consumed batch's scratch (row buffer or columns)
 	// to the reader's ring. The rings are sized so this never blocks; a
@@ -966,154 +1068,128 @@ func (s *Server) runLoop(sess *session, bw *bufio.Writer, queue <-chan item, fre
 	recycle := func(it item) {
 		if it.cols != nil {
 			select {
-			case freeCols <- it.cols:
+			case sess.freeCols <- it.cols:
 			default:
 				wire.PutColumns(it.cols)
 			}
 			return
 		}
 		select {
-		case freeBufs <- it.batch:
+		case sess.freeBufs <- it.batch:
 		default:
 			putBatchBuf(it.batch)
 		}
 	}
-	for {
-		var it item
-		var ok bool
-		select {
-		case it, ok = <-queue:
-			if !ok {
-				// Queue closed without Finish: the connection dropped or
-				// the client abandoned the session. handleConn takes the
-				// disconnect checkpoint once the reader is done too.
-				if n := sess.accesses.Load(); n > 0 {
-					s.cfg.Logf("rdxd: session %d disconnected after %d accesses", sess.id, n)
-				}
-				return
-			}
-		case ord := <-sess.migrate:
-			// A migration order lands at a batch boundary — or right away
-			// when the session is idle. A handed-off session's runner is
-			// done; one that every target refused keeps running here.
-			if s.migrateSession(sess, bw, ord) {
-				return
-			}
-			continue
-		}
-		if it.kind == itemBatch {
-			s.metrics.pipelineDepth.Add(-1)
-		}
-		if sess.dead.Load() && it.kind == itemBatch {
-			// The client is gone; executing its leftovers would be
-			// work nobody reads.
-			s.metrics.droppedBatches.Add(1)
-			recycle(it)
-			continue
-		}
-		switch it.kind {
-		case itemBatch:
-			if it.seq <= sess.lastApplied {
-				// Already executed before a reconnect; the resume
-				// replay is discarded, so re-delivery is idempotent.
-				s.metrics.replayedBatches.Add(1)
-				recycle(it)
-				continue
-			}
-			if it.seq != sess.lastApplied+1 {
-				fail(fmt.Errorf("batch sequence gap: got %d, want %d", it.seq, sess.lastApplied+1))
-				return
-			}
-			if sess.completed {
-				fail(fmt.Errorf("session already finished"))
-				return
-			}
-			var n int
-			s.sem <- struct{}{}
-			if it.cols != nil {
-				n = it.cols.Len()
-				sess.machine.ExecuteColumns(it.cols)
-			} else {
-				n = len(it.batch)
-				sess.machine.Execute(it.batch)
-			}
-			if s.cfg.StepDelay > 0 {
-				time.Sleep(s.cfg.StepDelay)
-			}
-			<-s.sem
-			recycle(it)
-			sess.lastApplied = it.seq
-			sess.sinceCkpt++
-			sess.accesses.Store(sess.machine.Account().Accesses)
-			sess.stateBytes.Store(sess.prof.StateBytes())
-			s.metrics.batchesTotal.Add(1)
-			s.metrics.accessesTotal.Add(uint64(n))
-			if s.cfg.CheckpointEvery > 0 && sess.sinceCkpt >= s.cfg.CheckpointEvery {
-				// Capture now, persist concurrently: execution of the
-				// next batch overlaps the checkpoint's disk write.
-				s.checkpointSessionAsync(sess)
-			}
-		case itemSync:
-			// A sync acknowledgment promises durability: the checkpoint
-			// must land before the ack goes out, or the session fails.
-			if !sess.completed {
-				if err := s.checkpointSession(sess); err != nil {
-					fail(fmt.Errorf("checkpoint failed: %v", err))
-					return
-				}
-			}
-			var ack [8]byte
-			binary.BigEndian.PutUint64(ack[:], sess.lastApplied)
-			s.armWrite(sess.conn)
-			if err := wire.WriteFrame(bw, wire.FrameAck, ack[:]); err != nil {
-				return
-			}
-			if err := bw.Flush(); err != nil {
-				return
-			}
-		case itemSnapshot:
-			if sess.completed {
-				fail(fmt.Errorf("session already finished"))
-				return
-			}
-			s.sem <- struct{}{}
-			snap := sess.prof.Snapshot()
-			<-s.sem
-			s.metrics.snapshotsTotal.Add(1)
-			s.armWrite(sess.conn)
-			if err := writeJSONFrame(bw, wire.FrameSnapshotResult, wire.FromCore(snap, false)); err != nil {
-				return
-			}
-		case itemFinish:
-			if sess.completed {
-				// A resumed finished session: serve the retained result
-				// again; the original reply was lost in flight.
-				s.armWrite(sess.conn)
-				wire.WriteFrame(bw, wire.FrameResult, sess.finalResult)
-				bw.Flush()
-				return
-			}
-			s.sem <- struct{}{}
-			sess.machine.Finish()
-			res := sess.prof.Result()
-			<-s.sem
-			payload := mustJSON(wire.FromCore(res, true))
-			sess.completed = true
-			sess.finalResult = payload
-			// Retain the result before replying: if the reply is lost,
-			// a resume fetches it again instead of losing the run.
-			if err := s.saveFinalDurable(sess.token, sess.lastApplied, payload); err != nil {
-				s.cfg.Logf("rdxd: session %d: retaining final result: %v", sess.id, err)
-			}
-			s.armWrite(sess.conn)
-			wire.WriteFrame(bw, wire.FrameResult, payload)
-			bw.Flush()
-			return
-		case itemFail:
-			fail(it.err)
-			return
-		}
+	if it.kind == itemBatch {
+		s.metrics.pipelineDepth.Add(-1)
 	}
+	if sess.dead.Load() && it.kind == itemBatch {
+		// The client is gone; executing its leftovers would be
+		// work nobody reads.
+		s.metrics.droppedBatches.Add(1)
+		recycle(it)
+		return false
+	}
+	switch it.kind {
+	case itemBatch:
+		if it.seq <= sess.lastApplied {
+			// Already executed before a reconnect; the resume
+			// replay is discarded, so re-delivery is idempotent.
+			s.metrics.replayedBatches.Add(1)
+			recycle(it)
+			return false
+		}
+		if it.seq != sess.lastApplied+1 {
+			fail(fmt.Errorf("batch sequence gap: got %d, want %d", it.seq, sess.lastApplied+1))
+			return true
+		}
+		if sess.completed {
+			fail(fmt.Errorf("session already finished"))
+			return true
+		}
+		var n int
+		if it.cols != nil {
+			n = it.cols.Len()
+			sess.machine.ExecuteColumns(it.cols)
+		} else {
+			n = len(it.batch)
+			sess.machine.Execute(it.batch)
+		}
+		if s.cfg.StepDelay > 0 {
+			// The sleep deliberately holds the worker: StepDelay models a
+			// slow engine, and a slot-holding slow engine is what the
+			// backpressure and throttled-scaling tests need.
+			time.Sleep(s.cfg.StepDelay)
+		}
+		recycle(it)
+		sess.lastApplied = it.seq
+		sess.sinceCkpt++
+		sess.accesses.Store(sess.machine.Account().Accesses)
+		sess.stateBytes.Store(sess.prof.StateBytes())
+		s.metrics.batchesTotal.Add(1)
+		s.metrics.accessesTotal.Add(uint64(n))
+		if s.cfg.CheckpointEvery > 0 && sess.sinceCkpt >= s.cfg.CheckpointEvery {
+			// Capture now, persist concurrently: execution of the
+			// next batch overlaps the checkpoint's disk write.
+			s.checkpointSessionAsync(sess)
+		}
+	case itemSync:
+		// A sync acknowledgment promises durability: the checkpoint
+		// must land before the ack goes out, or the session fails.
+		if !sess.completed {
+			if err := s.checkpointSession(sess); err != nil {
+				fail(fmt.Errorf("checkpoint failed: %v", err))
+				return true
+			}
+		}
+		var ack [8]byte
+		binary.BigEndian.PutUint64(ack[:], sess.lastApplied)
+		s.armWrite(sess.conn)
+		if err := wire.WriteFrame(bw, wire.FrameAck, ack[:]); err != nil {
+			return true
+		}
+		if err := bw.Flush(); err != nil {
+			return true
+		}
+	case itemSnapshot:
+		if sess.completed {
+			fail(fmt.Errorf("session already finished"))
+			return true
+		}
+		snap := sess.prof.Snapshot()
+		s.metrics.snapshotsTotal.Add(1)
+		s.armWrite(sess.conn)
+		if err := writeJSONFrame(bw, wire.FrameSnapshotResult, wire.FromCore(snap, false)); err != nil {
+			return true
+		}
+	case itemFinish:
+		if sess.completed {
+			// A resumed finished session: serve the retained result
+			// again; the original reply was lost in flight.
+			s.armWrite(sess.conn)
+			wire.WriteFrame(bw, wire.FrameResult, sess.finalResult)
+			bw.Flush()
+			return true
+		}
+		sess.machine.Finish()
+		res := sess.prof.Result()
+		payload := mustJSON(wire.FromCore(res, true))
+		sess.completed = true
+		sess.finalResult = payload
+		// Retain the result before replying: if the reply is lost,
+		// a resume fetches it again instead of losing the run.
+		if err := s.saveFinalDurable(sess.token, sess.lastApplied, payload); err != nil {
+			s.cfg.Logf("rdxd: session %d: retaining final result: %v", sess.id, err)
+		}
+		s.armWrite(sess.conn)
+		wire.WriteFrame(bw, wire.FrameResult, payload)
+		bw.Flush()
+		return true
+	case itemFail:
+		fail(it.err)
+		return true
+	}
+	return false
 }
 
 func writeJSONFrame(bw *bufio.Writer, t wire.FrameType, v any) error {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -9,11 +10,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // session is one remote profiling run: a dedicated Profiler+Machine
 // pair plus the counters the admin endpoint reports. Execution state is
-// touched only by the session's runner goroutine; the atomics exist so
+// touched only by the executor worker currently stepping the session
+// (at most one at a time — see executor.go); the atomics exist so
 // /metrics can observe a live session without pausing it.
 type session struct {
 	id      uint64
@@ -22,18 +26,38 @@ type session struct {
 	machine *cpu.Machine
 	wire    int // negotiated wire version for this connection
 
-	// Fault-tolerance state, owned by the runner goroutine.
+	// Executor plumbing, created by handleConn after the handshake.
+	// queue carries decoded work from the reader; freeBufs/freeCols
+	// recirculate batch scratch back to it; bw is the session's reply
+	// writer (single-writer: only the owning worker touches it after the
+	// open reply); done closes when the session's last step returns.
+	queue    chan item
+	freeBufs chan []mem.Access
+	freeCols chan *trace.Columns
+	bw       *bufio.Writer
+	done     chan struct{}
+
+	// sched is the executor's per-session scheduling state (sessIdle …
+	// sessDone); admitted flips once the plumbing above exists, gating
+	// notify so a migration order racing the handshake cannot schedule a
+	// half-built session.
+	sched    atomic.Int32
+	admitted atomic.Bool
+
+	// Fault-tolerance state, owned by the stepping worker.
 	token       string // resume token handed to the client at open
 	lastApplied uint64 // highest batch sequence number executed
 	sinceCkpt   int    // batches executed since the last checkpoint
 	completed   bool   // Finish ran; finalResult holds the reply
 	finalResult []byte // retained final-result JSON (completed sessions)
+	failed      bool   // an error frame went out; handleConn lingers before close
 
-	// migrate delivers migration orders to the runner (capacity 1; a
-	// duplicate order while one is pending is dropped). The runner acts
-	// on it at the next batch boundary — or immediately when idle.
+	// migrate delivers migration orders to the session (capacity 1; a
+	// duplicate order while one is pending is dropped). The owning
+	// worker acts on it at the next batch boundary — or at the step a
+	// notify triggers when the session is idle.
 	migrate  chan migrateOrder
-	migrated bool // runner handed the session off; skip the disconnect checkpoint
+	migrated bool // session handed off; skip the disconnect checkpoint
 
 	dead       atomic.Bool   // reader saw the connection die
 	accesses   atomic.Uint64 // executed so far

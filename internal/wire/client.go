@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -38,12 +39,14 @@ type Client struct {
 	sw  sliceWriter
 	enc trace.Writer
 	// cols is the columnar scratch for v3 batch encoding, reused across
-	// batches.
-	cols    trace.Columns
+	// batches (drawn from the column pool on first use, returned at
+	// Close).
+	cols    *trace.Columns
 	maxWire int // highest wire version to offer (0 = latest)
 	wire    int // negotiated wire version (valid once opened)
 	opened  bool
 	done    bool
+	closed  bool // Close ran; the pooled buffers are gone
 	reply   OpenReply
 	nextSeq uint64 // sequence number of the next batch (first batch is 1)
 }
@@ -65,14 +68,29 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 	return NewClient(conn), nil
 }
 
+// Client-side buffer pools: sessions churn (one Client per session by
+// design), but the 64 KiB read and 256 KiB write buffers and the
+// encoded-batch scratch recirculate across them — the client-side twin
+// of the server's connection pools, and the difference between a
+// session costing two large allocations or none.
+var (
+	clientReaderPool  = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 64<<10) }}
+	clientWriterPool  = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, 256<<10) }}
+	clientScratchPool sync.Pool // stores *[]byte: encoded-batch payload scratch
+)
+
 // NewClient wraps an established connection (loopback pipes in tests,
 // TCP in production).
 func NewClient(conn net.Conn) *Client {
-	return &Client{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 64<<10),
-		bw:   bufio.NewWriterSize(conn, 256<<10),
+	br := clientReaderPool.Get().(*bufio.Reader)
+	br.Reset(conn)
+	bw := clientWriterPool.Get().(*bufio.Writer)
+	bw.Reset(conn)
+	c := &Client{conn: conn, br: br, bw: bw}
+	if bp, _ := clientScratchPool.Get().(*[]byte); bp != nil {
+		c.sw.buf = (*bp)[:0]
 	}
+	return c
 }
 
 // Open starts the session with the given profiler configuration and
@@ -122,7 +140,9 @@ func (c *Client) open(req OpenRequest) (OpenReply, error) {
 	if err != nil {
 		return OpenReply{}, err
 	}
-	if err := json.Unmarshal(payload, &c.reply); err != nil {
+	err = json.Unmarshal(payload, &c.reply)
+	PutPayload(payload)
+	if err != nil {
 		return OpenReply{}, fmt.Errorf("wire: decoding open reply: %w", err)
 	}
 	c.wire = c.reply.Wire
@@ -190,9 +210,12 @@ func (c *Client) Sync() (uint64, error) {
 		return 0, err
 	}
 	if len(payload) != 8 {
+		PutPayload(payload)
 		return 0, fmt.Errorf("wire: ack payload of %d bytes, want 8", len(payload))
 	}
-	return binary.BigEndian.Uint64(payload), nil
+	seq := binary.BigEndian.Uint64(payload)
+	PutPayload(payload)
+	return seq, nil
 }
 
 // Snapshot requests a live intermediate result: the profile the session
@@ -219,9 +242,33 @@ func (c *Client) Finish() (*Result, error) {
 	return c.readResult(FrameResult)
 }
 
-// Close releases the connection. Closing without Finish abandons the
-// session; the daemon frees its state.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close releases the connection and returns the client's pooled
+// buffers. Closing without Finish abandons the session; the daemon
+// frees its state. The client is unusable afterwards.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	if c.closed {
+		return err
+	}
+	c.closed = true
+	c.br.Reset(nil)
+	clientReaderPool.Put(c.br)
+	c.br = nil
+	c.bw.Reset(nil)
+	clientWriterPool.Put(c.bw)
+	c.bw = nil
+	if cap(c.sw.buf) > 0 {
+		bp := new([]byte)
+		*bp = c.sw.buf[:0]
+		clientScratchPool.Put(bp)
+		c.sw.buf = nil
+	}
+	if c.cols != nil {
+		PutColumns(c.cols)
+		c.cols = nil
+	}
+	return err
+}
 
 // ProfileOptions tunes Client.Profile.
 type ProfileOptions struct {
@@ -321,16 +368,22 @@ func (c *Client) encodeBatch(seq uint64, accs []mem.Access) ([]byte, error) {
 // encodeColumns encodes the v3 columnar batch payload into the client's
 // reusable scratch. The returned slice is valid until the next encode.
 func (c *Client) encodeColumns(seq uint64, accs []mem.Access) ([]byte, error) {
+	if c.cols == nil {
+		c.cols = GetColumns()
+	}
 	c.cols.Reset()
 	c.cols.AppendBatch(accs)
 	var err error
-	c.sw.buf, err = EncodeColumns(c.sw.buf, seq, &c.cols)
+	c.sw.buf, err = EncodeColumns(c.sw.buf, seq, c.cols)
 	return c.sw.buf, err
 }
 
 // send writes one frame and flushes, so server-side backpressure
 // propagates to the caller as a blocking write.
 func (c *Client) send(t FrameType, payload []byte) error {
+	if c.closed {
+		return fmt.Errorf("wire: client is closed")
+	}
 	if err := WriteFrame(c.bw, t, payload); err != nil {
 		return err
 	}
@@ -339,8 +392,14 @@ func (c *Client) send(t FrameType, payload []byte) error {
 
 // expect reads the next server frame, converting FrameError into an
 // ErrRemote-wrapped error and FrameRetryAfter into a *RetryAfterError.
+// The payload comes from the pooled buffers: on success it belongs to
+// the caller, who must release it with PutPayload once decoded; on
+// error expect releases it itself.
 func (c *Client) expect(want FrameType) ([]byte, error) {
-	t, payload, err := ReadFrame(c.br)
+	if c.closed {
+		return nil, fmt.Errorf("wire: client is closed")
+	}
+	t, payload, err := ReadFramePooled(c.br)
 	if err == io.EOF {
 		return nil, fmt.Errorf("wire: server closed the connection before replying")
 	}
@@ -348,11 +407,15 @@ func (c *Client) expect(want FrameType) ([]byte, error) {
 		return nil, err
 	}
 	if t == FrameError {
-		return nil, fmt.Errorf("%w: %s", ErrRemote, payload)
+		err := fmt.Errorf("%w: %s", ErrRemote, payload)
+		PutPayload(payload)
+		return nil, err
 	}
 	if t == FrameRetryAfter {
 		var ra RetryAfter
-		if err := json.Unmarshal(payload, &ra); err != nil {
+		err := json.Unmarshal(payload, &ra)
+		PutPayload(payload)
+		if err != nil {
 			return nil, fmt.Errorf("wire: decoding retry-after: %w", err)
 		}
 		return nil, &RetryAfterError{
@@ -362,7 +425,9 @@ func (c *Client) expect(want FrameType) ([]byte, error) {
 	}
 	if t == FrameMoved {
 		var mv Moved
-		if err := json.Unmarshal(payload, &mv); err != nil {
+		err := json.Unmarshal(payload, &mv)
+		PutPayload(payload)
+		if err != nil {
 			return nil, fmt.Errorf("wire: decoding moved redirect: %w", err)
 		}
 		if mv.Addr == "" {
@@ -371,7 +436,9 @@ func (c *Client) expect(want FrameType) ([]byte, error) {
 		return nil, &MovedError{Addr: mv.Addr, Admin: mv.Admin, Seq: mv.Seq}
 	}
 	if t != want {
-		return nil, fmt.Errorf("wire: server sent %s frame, want %s", t, want)
+		err := fmt.Errorf("wire: server sent %s frame, want %s", t, want)
+		PutPayload(payload)
+		return nil, err
 	}
 	return payload, nil
 }
@@ -382,7 +449,9 @@ func (c *Client) readResult(want FrameType) (*Result, error) {
 		return nil, err
 	}
 	var res Result
-	if err := json.Unmarshal(payload, &res); err != nil {
+	err = json.Unmarshal(payload, &res)
+	PutPayload(payload)
+	if err != nil {
 		return nil, fmt.Errorf("wire: decoding result: %w", err)
 	}
 	return &res, nil

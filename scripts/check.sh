@@ -26,6 +26,22 @@ if ! diff -u API.txt /tmp/rdx-api-surface.txt; then
     exit 1
 fi
 
+# Multicore tier-1: the default test pass above runs at the host's
+# GOMAXPROCS (1 on the CI box), which never exercises the executor's
+# cross-worker stealing or the parallel merge fan-in. Re-run the suite
+# pinned to 4 so those paths are covered even on a single-core host.
+echo "==> go test ./... (GOMAXPROCS=4)"
+GOMAXPROCS=4 go test -count=1 ./...
+
+# Executor chaos smoke: 6 concurrent sessions on a 4-worker
+# work-stealing executor at GOMAXPROCS=4, behind a fault-injecting
+# transport, with every session handed off mid-stream to a second
+# backend via checkpoint drain. Results must stay bit-identical to
+# local ground truth — under the race detector, since stealing races
+# workers by design.
+echo "==> executor chaos smoke (-race, GOMAXPROCS=4)"
+go test -race -run='^TestExecutorChaosGOMAXPROCS4$' -count=1 ./internal/server
+
 # Pool fault smoke: the multi-backend E2E (64 streams, 3 backends,
 # injected faults, one backend killed mid-run) must keep producing
 # results bit-identical to the local run.
@@ -62,6 +78,14 @@ go run ./cmd/rdexper -n 1048576 -compress-check BENCH_server.json
 # prediction drifts beyond the tolerances committed in internal/mrc.
 echo "==> MRC differential gate (curve and hierarchy vs simulation)"
 go run ./cmd/rdexper -n 524288 -period 1024 -exp MRC
+
+# Engine throughput gate: the two headline rows (batched engine,
+# sequential oracle) are re-measured at the operating point committed
+# in BENCH_engine.json and held against its recorded noise threshold
+# (3x the row's rep spread, floored at 25% for shared-CPU boxes). A
+# fresh median below that floor is a real regression, not noise.
+echo "==> engine throughput gate (vs BENCH_engine.json)"
+go run ./cmd/rdexper -bench-gate BENCH_engine.json
 
 # Bench smoke: one iteration of the committed benchmark set, without
 # -race (allocation counts and throughput are meaningless under it).
