@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+// runDiff is the `rdx diff` subcommand: load two saved `rdx -json`
+// reports and classify the change between them against sampling noise
+// bands. The exit code reports operational failure only (unreadable or
+// incompatible reports); a "regressed" verdict still exits 0 — gating
+// belongs to the caller, which can read the class from -json output.
+func runDiff(args []string) {
+	fs := flag.NewFlagSet("rdx diff", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the machine-readable diff to stdout instead of the table")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `Usage: rdx diff [-json] baseline.json compared.json
+
+Compares two saved rdx -json reports of "the same" workload — two
+builds, two machines, before/after an optimization — and classifies the
+change as unchanged, improved, regressed or shifted. Each metric is
+judged against its own sampling noise band, so a verdict other than
+"unchanged" is significant, not histogram jitter.
+
+`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	a, err := report.Load(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := report.Load(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	d, err := report.DiffReports(a, b)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("%s vs %s: %s\n\n", fs.Arg(0), fs.Arg(1), d.Class)
+	fmt.Printf("%-22s %14s %14s %12s %10s %-5s %s\n",
+		"metric", "baseline", "compared", "delta", "band", "sig", "direction")
+	for _, m := range d.Metrics {
+		fmt.Printf("%-22s %14.4f %14.4f %+12.4f %10.4f %-5s %s\n",
+			m.Name, m.A, m.B, m.Delta, m.Band, m.Significance, m.Direction)
+	}
+	fmt.Printf("\n%s\n", d.Summary)
+}

@@ -9,6 +9,7 @@
 //	rdx -workload mcf -remote 127.0.0.1:9127 -retry 12 -dial-timeout 5s
 //	rdx -workload mcf -remote a:9127=a:9128,b:9127=b:9128
 //	rdx -workload mcf -json > profile.json
+//	rdx diff baseline.json compared.json
 //	rdx -list
 //
 // With -remote the access stream is generated (or replayed) locally and
@@ -21,6 +22,11 @@
 // the session is dispatched through the health-checked pool (admin
 // addresses enable /healthz probing and load-aware routing), and a
 // backend dying mid-run fails over to the others.
+//
+// -json output is the versioned rdx.report/v1 envelope (see
+// internal/report), the same schema the daemon's /whatif endpoint
+// returns and `rdx diff` consumes; pre-versioning schema-less reports
+// stay readable.
 package main
 
 import (
@@ -34,10 +40,15 @@ import (
 
 	"repro"
 	"repro/internal/ctrl"
+	"repro/internal/report"
 	"repro/internal/trace"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		runDiff(os.Args[2:])
+		return
+	}
 	var (
 		workload    = flag.String("workload", "mcf", "suite workload to profile (see -list)")
 		tracePath   = flag.String("trace", "", "replay this recorded RDT3 trace file instead of a generated workload")
@@ -51,7 +62,7 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit the machine-readable result (histograms, counters, overheads, accuracy) to stdout instead of the report")
 		jsonFile    = flag.String("json-file", "", "additionally write the machine-readable result to this file")
 		remote      = flag.String("remote", "", "profile via rdxd instead of in-process: one daemon address, or a comma-separated pool (each \"addr\" or \"addr=adminaddr\")")
-		snapEvery   = flag.Int("snapshot-every", 0, "with -remote: print a live snapshot line every N batches")
+		snapEvery   = flag.Int("snapshot-every", 0, "with -remote: print a live snapshot line every N batches (deprecated polling; the Session.Watch subscription delivers the same snapshots server-pushed)")
 		retry       = flag.Int("retry", 0, "with -remote: survive connection faults with up to N consecutive reconnect attempts (0 = no retry)")
 		dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "with -remote: timeout for each connection attempt")
 		maxWire     = flag.Int("max-wire-version", 3, "with -remote: highest wire protocol version to offer (2 = uncompressed RDT3 batches, 3 = compressed columnar batches)")
@@ -151,7 +162,7 @@ func main() {
 	}
 	res := rdx.ResultToRemote(local)
 
-	out := jsonResult{Source: source, Remote: *remote, RemoteResult: res}
+	out := report.New(source, *remote, res)
 	if *mrcOut {
 		out.MRC = local.MissRatioCurve(rdx.SizeSweep{})
 	}
@@ -193,8 +204,8 @@ func main() {
 	}
 }
 
-func printReport(out jsonResult, pairs int) {
-	res := out.RemoteResult
+func printReport(out *report.Report, pairs int) {
+	res := out.Result
 	where := "local"
 	if out.Remote != "" {
 		where = "rdxd @ " + out.Remote
@@ -229,23 +240,7 @@ func printReport(out jsonResult, pairs int) {
 	}
 }
 
-// jsonResult is the -json output: the wire-format profile plus what the
-// CLI layered on top (stream source, optional ground truth).
-type jsonResult struct {
-	// Source is the workload name or trace path that was profiled.
-	Source string `json:"source"`
-	// Remote is the rdxd address, or "" for an in-process run.
-	Remote string `json:"remote,omitempty"`
-	*rdx.RemoteResult
-	// MRC and WhatIf are the optional cache analyses (-mrc, -whatif).
-	MRC            *rdx.MissRatioCurve `json:"mrc,omitempty"`
-	WhatIf         *rdx.WhatIfReport   `json:"whatif,omitempty"`
-	Accuracy       *float64            `json:"accuracy,omitempty"`
-	GroundTruth    *rdx.Histogram      `json:"ground_truth,omitempty"`
-	DistinctBlocks uint64              `json:"distinct_blocks,omitempty"`
-}
-
-func writeJSONFile(path string, out jsonResult) error {
+func writeJSONFile(path string, out *report.Report) error {
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

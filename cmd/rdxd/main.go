@@ -9,7 +9,7 @@
 //	     [-queue-depth 8] [-max-sessions 64] [-drain-timeout 30s]
 //	     [-checkpoint-dir /var/lib/rdxd] [-checkpoint-every 64]
 //	     [-read-timeout 5m] [-write-timeout 1m] [-admin-timeout 10s]
-//	     [-pprof]
+//	     [-pprof] [-alert-working-set-bytes 33554432]
 //
 // SIGTERM or SIGINT drains the daemon: new sessions are refused,
 // in-flight sessions get -drain-timeout to finish, stragglers are cut
@@ -23,6 +23,13 @@
 // on client sync, and on disconnect) so interrupted clients can resume
 // where they left off. With -checkpoint-dir the checkpoints are
 // spilled to disk and sessions survive a daemon restart.
+//
+// Sessions may subscribe to pushed window snapshots (the wire watch
+// frames; Session.Watch on the client side). The daemon windows each
+// watched session's profile as it streams, scores consecutive windows
+// for phase drift, and — when a window's working set grows past
+// -alert-working-set-bytes — logs an alert once per excursion and
+// surfaces it on /metrics.
 package main
 
 import (
@@ -54,23 +61,25 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", time.Minute, "per-frame write deadline for replies (negative disables)")
 		adminTimeout = flag.Duration("admin-timeout", 10*time.Second, "end-to-end deadline for each admin API request; a stalled admin client is cut off (negative disables)")
 		pprofOn      = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the admin listener")
+		alertWS      = flag.Int64("alert-working-set-bytes", 0, "alert (log once per excursion, surface on /metrics) when a watched session's window working set grows past this many bytes; 0 selects the default 32 MiB (a typical L3), negative disables")
 	)
 	flag.Parse()
 
 	s, err := server.New(server.Config{
-		Addr:            *addr,
-		AdminAddr:       *admin,
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		MaxBatch:        *maxBatch,
-		MaxWireVersion:  *maxWire,
-		MaxSessions:     *maxSessions,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
-		ReadTimeout:     *readTimeout,
-		WriteTimeout:    *writeTimeout,
-		AdminTimeout:    *adminTimeout,
-		EnablePprof:     *pprofOn,
+		Addr:                 *addr,
+		AdminAddr:            *admin,
+		Workers:              *workers,
+		QueueDepth:           *queueDepth,
+		MaxBatch:             *maxBatch,
+		MaxWireVersion:       *maxWire,
+		MaxSessions:          *maxSessions,
+		CheckpointDir:        *ckptDir,
+		CheckpointEvery:      *ckptEvery,
+		ReadTimeout:          *readTimeout,
+		WriteTimeout:         *writeTimeout,
+		AdminTimeout:         *adminTimeout,
+		EnablePprof:          *pprofOn,
+		AlertWorkingSetBytes: *alertWS,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdxd:", err)

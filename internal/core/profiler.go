@@ -390,7 +390,11 @@ func (p *Profiler) buildResult(cold uint64, endCensored []uint64) *Result {
 		Duplicates:    p.duplicate,
 	}
 	if p.machine != nil {
-		res.Account = p.machine.Account()
+		// Copy the account: the machine's own keeps accruing after a
+		// mid-run Snapshot, and a snapshot that a subscriber reads
+		// asynchronously (Session.Watch) must be frozen at its boundary.
+		acct := *p.machine.Account()
+		res.Account = &acct
 	}
 	res.StateBytes = p.StateBytes()
 	return res

@@ -32,6 +32,7 @@ var registry = []Experiment{
 	{"C1", "case study: use→reuse attribution of a matmul tiling fix", func(o Options) (any, error) { return o.RunC1() }},
 	{"MRC", "miss-ratio curves and what-if models vs cache simulation", func(o Options) (any, error) { return o.RunMRC() }},
 	{"MULTICORE", "GOMAXPROCS trajectory: auto-picked oracle and server executor", func(o Options) (any, error) { return o.RunMulticore() }},
+	{"DRIFT", "phase-change detection on injected locality shifts", func(o Options) (any, error) { return o.RunDrift() }},
 }
 
 // IDs returns all experiment IDs in registry order.

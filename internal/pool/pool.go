@@ -495,6 +495,21 @@ func (p *Pool) release(b *backendState) {
 	p.cond.Broadcast()
 }
 
+// PickBackend claims a healthy, least-loaded backend for caller-driven
+// work — a continuous-profiling watch session, say, that manages its
+// own connection instead of going through ProfileThreads. It blocks
+// like any dispatch until a backend with a free in-flight slot exists.
+// The returned release function frees the slot; calling it more than
+// once is safe.
+func (p *Pool) PickBackend(ctx context.Context) (Backend, func(), error) {
+	b, err := p.acquire(ctx)
+	if err != nil {
+		return Backend{}, nil, err
+	}
+	var once sync.Once
+	return b.Backend, func() { once.Do(func() { p.release(b) }) }, nil
+}
+
 // permanentError marks a failure re-dispatching cannot cure (the
 // stream's own reader failed); the dispatch loop stops retrying.
 type permanentError struct{ err error }

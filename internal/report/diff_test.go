@@ -1,0 +1,140 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/histogram"
+	"repro/internal/wire"
+)
+
+// fakeReport wraps a hand-built reuse-distance histogram in a report:
+// (distance, weight) pairs, word granularity, a sample count large
+// enough that every noise band sits at its floor.
+func fakeReport(pairs ...float64) *Report {
+	h := histogram.New()
+	for i := 0; i+1 < len(pairs); i += 2 {
+		h.Add(uint64(pairs[i]), pairs[i+1])
+	}
+	res := &wire.Result{
+		Config:        core.DefaultConfig(),
+		Samples:       1 << 20,
+		ReuseDistance: h,
+		ReuseTime:     h.Clone(),
+	}
+	return New("test", "", res)
+}
+
+func TestDiffSelfIsUnchanged(t *testing.T) {
+	a := fakeReport(16, 50, 4096, 30, 1<<23, 20)
+	d, err := DiffReports(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Class != DiffUnchanged {
+		t.Fatalf("self-diff classified %q: %+v", d.Class, d.Metrics)
+	}
+	for _, m := range d.Metrics {
+		if m.Significance != SigNone {
+			t.Errorf("self-diff metric %s significant: %+v", m.Name, m)
+		}
+	}
+}
+
+func TestDiffImprovedAndRegressed(t *testing.T) {
+	// Baseline streams through memory (reuses beyond LLC); the fix
+	// tiles it down into L1.
+	before := fakeReport(1<<24, 100)
+	after := fakeReport(16, 100)
+
+	d, err := DiffReports(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Class != DiffImproved {
+		t.Fatalf("tiling fix classified %q, want improved: %s", d.Class, d.Summary)
+	}
+
+	d, err = DiffReports(after, before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Class != DiffRegressed {
+		t.Fatalf("reverse diff classified %q, want regressed: %s", d.Class, d.Summary)
+	}
+}
+
+func TestDiffShiftedOnMixedDirections(t *testing.T) {
+	// Half the reuses hit L1, half miss even the LLC...
+	a := fakeReport(16, 50, 1<<24, 50)
+	// ...versus everything landing in L2: L1 gets worse, LLC better.
+	b := fakeReport(1<<15, 100)
+	d, err := DiffReports(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Class != DiffShifted {
+		t.Fatalf("mixed-direction diff classified %q, want shifted: %s", d.Class, d.Summary)
+	}
+}
+
+func TestDiffSubNoiseDeltaIsUnchanged(t *testing.T) {
+	a := fakeReport(16, 1000)
+	// A 0.5%-of-mass sliver moves within the L1-resident range: below
+	// every floor.
+	b := fakeReport(16, 995, 64, 5)
+	d, err := DiffReports(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Class != DiffUnchanged {
+		t.Fatalf("sub-noise diff classified %q: %s", d.Class, d.Summary)
+	}
+}
+
+func TestDiffRefusesProfileLessAndMismatchedReports(t *testing.T) {
+	ok := fakeReport(16, 10)
+	if _, err := DiffReports(&Report{Schema: SchemaVersion}, ok); err == nil {
+		t.Error("diff accepted a profile-less baseline")
+	}
+	other := fakeReport(16, 10)
+	other.Config.Granularity = ok.Config.Granularity + 3
+	if _, err := DiffReports(ok, other); err == nil {
+		t.Error("diff accepted mismatched granularities")
+	}
+}
+
+func TestDecodeSchemaVersions(t *testing.T) {
+	fresh, err := json.Marshal(fakeReport(16, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Decode(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != SchemaVersion {
+		t.Errorf("fresh report decoded with schema %q", r.Schema)
+	}
+
+	// Legacy: the pre-versioning `rdx -json` shape, no schema key.
+	legacy := []byte(`{"source":"mcf","accesses":1024,"samples":4,"config":{}}`)
+	r, err = Decode(legacy)
+	if err != nil {
+		t.Fatalf("legacy report refused: %v", err)
+	}
+	if r.Schema != LegacySchema {
+		t.Errorf("legacy report decoded with schema %q", r.Schema)
+	}
+	if r.Result == nil || r.Accesses != 1024 {
+		t.Errorf("legacy fields not decoded: %+v", r.Result)
+	}
+
+	// A future major version must be refused, not misread.
+	future := []byte(`{"schema":"rdx.report/v9"}`)
+	if _, err := Decode(future); err == nil || !strings.Contains(err.Error(), "unsupported schema") {
+		t.Errorf("future schema accepted: %v", err)
+	}
+}

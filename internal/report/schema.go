@@ -1,0 +1,90 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/histogram"
+	"repro/internal/mrc"
+	"repro/internal/wire"
+)
+
+// SchemaVersion tags every machine-readable rdx report. The envelope
+// below is the one serialized surface shared by `rdx -json`, the
+// daemon's /whatif endpoint and `rdx diff`; before it, each emitted an
+// ad-hoc JSON blob that consumers could only version by guessing.
+//
+// Compatibility contract: within one major version ("v1"), fields are
+// only ever added, so any v1 reader can read any v1 report. A reader
+// handed a report from a different major version must refuse rather
+// than misinterpret — Decode enforces this. Reports written before
+// versioning existed (no "schema" key) decode as LegacySchema: the v1
+// envelope is a strict superset of the old `rdx -json` shape, so they
+// remain readable.
+const SchemaVersion = "rdx.report/v1"
+
+// LegacySchema is the version Decode assigns to pre-versioning reports
+// (JSON without a "schema" key).
+const LegacySchema = "rdx.report/v0"
+
+// Report is the versioned envelope for one profiling run. The wire
+// result embeds inline (not nested), keeping the serialized shape
+// backward compatible with the schema-less `rdx -json` output.
+type Report struct {
+	// Schema is the envelope version, SchemaVersion for new reports.
+	Schema string `json:"schema"`
+	// Source is the workload name or trace path that was profiled.
+	Source string `json:"source,omitempty"`
+	// Remote is the rdxd address, or "" for an in-process run.
+	Remote string `json:"remote,omitempty"`
+	// Result is the profile itself, fields inlined.
+	*wire.Result
+	// MRC and WhatIf are the optional cache analyses.
+	MRC    *mrc.Curve  `json:"mrc,omitempty"`
+	WhatIf *mrc.Report `json:"whatif,omitempty"`
+	// Accuracy, GroundTruth and DistinctBlocks are the optional
+	// exact-oracle validation extras.
+	Accuracy       *float64             `json:"accuracy,omitempty"`
+	GroundTruth    *histogram.Histogram `json:"ground_truth,omitempty"`
+	DistinctBlocks uint64               `json:"distinct_blocks,omitempty"`
+}
+
+// New wraps a profile result in a current-version envelope.
+func New(source, remote string, res *wire.Result) *Report {
+	return &Report{Schema: SchemaVersion, Source: source, Remote: remote, Result: res}
+}
+
+// Decode parses a serialized report, accepting any rdx.report/v1
+// report and, for continuity, legacy schema-less output (assigned
+// LegacySchema). Reports from an unknown major version are refused.
+func Decode(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("report: decoding: %w", err)
+	}
+	switch {
+	case r.Schema == "":
+		r.Schema = LegacySchema
+	case r.Schema == SchemaVersion || r.Schema == LegacySchema:
+	case strings.HasPrefix(r.Schema, "rdx.report/"):
+		return nil, fmt.Errorf("report: unsupported schema %q (this build reads %s)", r.Schema, SchemaVersion)
+	default:
+		return nil, fmt.Errorf("report: %q is not an rdx report (schema %q)", data[:min(len(data), 32)], r.Schema)
+	}
+	return &r, nil
+}
+
+// Load reads and decodes a report file.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,12 @@ type metrics struct {
 	handoffsIn        atomic.Uint64 // sessions installed from another backend
 	handoffFailures   atomic.Uint64 // handoff pushes a destination refused
 	movedResumes      atomic.Uint64 // resume attempts answered with a redirect
+
+	// Continuous-profiling counters.
+	watchSubscriptions atomic.Uint64 // FrameWatch subscriptions accepted
+	snapshotPushes     atomic.Uint64 // FrameSnapshotPush frames emitted
+	driftEvents        atomic.Uint64 // windows the drift detector flagged
+	wsAlerts           atomic.Uint64 // working-set-past-L3 alert onsets
 
 	rateMu       sync.Mutex
 	accessRate   float64 // accesses/sec over the last sample window
@@ -92,6 +99,11 @@ type SessionMetrics struct {
 	ID         uint64 `json:"id"`
 	Accesses   uint64 `json:"accesses"`
 	StateBytes uint64 `json:"state_bytes"`
+	// WindowWSBytes is the working set of the session's latest closed
+	// observation window (0 for unwatched sessions); WSAlert is true
+	// while it sits above Config.AlertWorkingSetBytes.
+	WindowWSBytes uint64 `json:"window_ws_bytes,omitempty"`
+	WSAlert       bool   `json:"ws_alert,omitempty"`
 }
 
 // Metrics is the /metrics payload.
@@ -151,6 +163,15 @@ type Metrics struct {
 	HandoffsIn        uint64 `json:"handoffs_in"`
 	HandoffFailures   uint64 `json:"handoff_failures"`
 	MovedResumes      uint64 `json:"moved_resumes"`
+
+	// Continuous-profiling counters, and the currently-firing alerts —
+	// one human-readable line per watched session whose latest window's
+	// working set exceeds the configured (L3-sized) threshold.
+	WatchSubscriptions uint64   `json:"watch_subscriptions"`
+	SnapshotPushes     uint64   `json:"snapshot_pushes"`
+	DriftEvents        uint64   `json:"drift_events"`
+	WSAlertsTotal      uint64   `json:"ws_alerts_total"`
+	Alerts             []string `json:"alerts,omitempty"`
 }
 
 // MetricsSnapshot assembles the current metrics, including the
@@ -158,16 +179,26 @@ type Metrics struct {
 func (s *Server) MetricsSnapshot() Metrics {
 	s.mu.Lock()
 	sessions := make([]SessionMetrics, 0, len(s.sessions))
+	var alerts []string
 	for id, sess := range s.sessions {
-		sessions = append(sessions, SessionMetrics{
-			ID:         id,
-			Accesses:   sess.accesses.Load(),
-			StateBytes: sess.stateBytes.Load(),
-		})
+		sm := SessionMetrics{
+			ID:            id,
+			Accesses:      sess.accesses.Load(),
+			StateBytes:    sess.stateBytes.Load(),
+			WindowWSBytes: sess.windowWS.Load(),
+			WSAlert:       sess.wsAlert.Load(),
+		}
+		if sm.WSAlert {
+			alerts = append(alerts, fmt.Sprintf(
+				"session %d: working set %d bytes grew past L3 (%d bytes)",
+				id, sm.WindowWSBytes, s.cfg.AlertWorkingSetBytes))
+		}
+		sessions = append(sessions, sm)
 	}
 	draining := s.draining
 	s.mu.Unlock()
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID < sessions[j].ID })
+	sort.Strings(alerts)
 
 	m := &s.metrics
 	m.rateMu.Lock()
@@ -224,5 +255,11 @@ func (s *Server) MetricsSnapshot() Metrics {
 		HandoffsIn:        m.handoffsIn.Load(),
 		HandoffFailures:   m.handoffFailures.Load(),
 		MovedResumes:      m.movedResumes.Load(),
+
+		WatchSubscriptions: m.watchSubscriptions.Load(),
+		SnapshotPushes:     m.snapshotPushes.Load(),
+		DriftEvents:        m.driftEvents.Load(),
+		WSAlertsTotal:      m.wsAlerts.Load(),
+		Alerts:             alerts,
 	}
 }

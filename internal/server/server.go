@@ -66,6 +66,7 @@ import (
 	"repro/internal/cpumodel"
 	"repro/internal/mem"
 	"repro/internal/trace"
+	"repro/internal/window"
 	"repro/internal/wire"
 )
 
@@ -150,6 +151,13 @@ type Config struct {
 	// handoffs (nil = plain TCP). Test hook: chaos tests inject a
 	// faultnet dialer here.
 	HandoffDial func(ctx context.Context, addr string) (net.Conn, error)
+
+	// AlertWorkingSetBytes is the working-set threshold the continuous
+	// profiler alerts at: a watched session whose latest window needs
+	// more than this many bytes raises a "working set grew past L3"
+	// alert on /metrics (default 32 MiB, the typical LLC capacity;
+	// negative disables).
+	AlertWorkingSetBytes int64
 }
 
 func (c *Config) fill() {
@@ -201,6 +209,9 @@ func (c *Config) fill() {
 	}
 	if c.HandoffTimeout <= 0 {
 		c.HandoffTimeout = 10 * time.Second
+	}
+	if c.AlertWorkingSetBytes == 0 {
+		c.AlertWorkingSetBytes = 32 << 20 // the TypicalHierarchy LLC
 	}
 }
 
@@ -836,6 +847,7 @@ type item struct {
 	batch []mem.Access   // itemBatch, v2 framing
 	cols  *trace.Columns // itemBatch, v3 framing
 	seq   uint64         // itemBatch: the batch's sequence number
+	every int            // itemWatch: the push cadence (0 cancels)
 	err   error          // itemFail: the protocol error to report
 }
 
@@ -973,6 +985,21 @@ func (s *Server) readLoop(sess *session, br *bufio.Reader) {
 		case wire.FrameSnapshot:
 			wire.PutPayload(payload)
 			if !enqueue(item{kind: itemSnapshot}) {
+				return
+			}
+		case wire.FrameWatch:
+			var req wire.WatchRequest
+			err := unmarshalStrict(payload, &req)
+			wire.PutPayload(payload)
+			if err != nil {
+				enqueue(item{kind: itemFail, err: fmt.Errorf("corrupt watch request: %w", err)})
+				return
+			}
+			if req.EveryBatches < 0 {
+				enqueue(item{kind: itemFail, err: fmt.Errorf("negative watch cadence %d", req.EveryBatches)})
+				return
+			}
+			if !enqueue(item{kind: itemWatch, every: req.EveryBatches}) {
 				return
 			}
 		case wire.FrameFinish:
@@ -1128,6 +1155,15 @@ func (s *Server) processItem(sess *session, it item) (done bool) {
 		sess.stateBytes.Store(sess.prof.StateBytes())
 		s.metrics.batchesTotal.Add(1)
 		s.metrics.accessesTotal.Add(uint64(n))
+		if sess.watchEvery > 0 && sess.lastApplied%uint64(sess.watchEvery) == 0 {
+			// A watch boundary: push the snapshot before anything else
+			// can happen to the session, so the push stream is exactly
+			// the poll stream a client snapshotting at every boundary
+			// would have seen.
+			if s.pushSnapshot(sess) {
+				return true
+			}
+		}
 		if s.cfg.CheckpointEvery > 0 && sess.sinceCkpt >= s.cfg.CheckpointEvery {
 			// Capture now, persist concurrently: execution of the
 			// next batch overlaps the checkpoint's disk write.
@@ -1146,6 +1182,29 @@ func (s *Server) processItem(sess *session, it item) (done bool) {
 		binary.BigEndian.PutUint64(ack[:], sess.lastApplied)
 		s.armWrite(sess.conn)
 		if err := wire.WriteFrame(bw, wire.FrameAck, ack[:]); err != nil {
+			return true
+		}
+		if err := bw.Flush(); err != nil {
+			return true
+		}
+	case itemWatch:
+		if sess.completed {
+			fail(fmt.Errorf("session already finished"))
+			return true
+		}
+		sess.watchEvery = it.every
+		if it.every > 0 {
+			s.metrics.watchSubscriptions.Add(1)
+			if sess.winCol == nil {
+				// The collector survives cadence changes and reconnect
+				// re-subscriptions: windows keep their indices and the
+				// drift history stays continuous.
+				sess.winCol = window.NewCollector(
+					sess.prof.Config().Granularity.BlockSize(), 0, window.DriftOptions{})
+			}
+		}
+		s.armWrite(sess.conn)
+		if err := wire.WriteFrame(bw, wire.FrameWatchOK, nil); err != nil {
 			return true
 		}
 		if err := bw.Flush(); err != nil {
@@ -1190,6 +1249,36 @@ func (s *Server) processItem(sess *session, it item) (done bool) {
 		return true
 	}
 	return false
+}
+
+// pushSnapshot emits one boundary snapshot to a watched session's
+// client and folds it into the server-side window accounting: the
+// drift counter, the per-session working-set gauge, and the
+// "working set grew past L3" alert. True means the write failed and
+// the session is done, matching the snapshot reply path — the client
+// reconnects, resumes, and re-subscribes.
+func (s *Server) pushSnapshot(sess *session) (done bool) {
+	snap := sess.prof.Snapshot()
+	if sess.winCol != nil {
+		w := sess.winCol.Observe(snap.Accesses, snap.Samples, snap.ReuseDistance, snap.ReuseTime)
+		sess.windowWS.Store(w.WorkingSetBytes)
+		if w.Score != nil && w.Score.Drift {
+			s.metrics.driftEvents.Add(1)
+		}
+		if s.cfg.AlertWorkingSetBytes > 0 && w.WorkingSetBytes > uint64(s.cfg.AlertWorkingSetBytes) {
+			if !sess.wsAlert.Swap(true) { // rising edge: count and log once per excursion
+				s.metrics.wsAlerts.Add(1)
+				s.cfg.Logf("rdxd: session %d: working set %d bytes grew past the %d-byte (L3) threshold",
+					sess.id, w.WorkingSetBytes, s.cfg.AlertWorkingSetBytes)
+			}
+		} else {
+			sess.wsAlert.Store(false)
+		}
+	}
+	s.metrics.snapshotPushes.Add(1)
+	s.armWrite(sess.conn)
+	return writeJSONFrame(sess.bw, wire.FrameSnapshotPush,
+		wire.Push{Seq: sess.lastApplied, Result: wire.FromCore(snap, false)}) != nil
 }
 
 func writeJSONFrame(bw *bufio.Writer, t wire.FrameType, v any) error {

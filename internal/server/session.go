@@ -12,6 +12,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/trace"
+	"repro/internal/window"
 )
 
 // session is one remote profiling run: a dedicated Profiler+Machine
@@ -62,6 +63,19 @@ type session struct {
 	dead       atomic.Bool   // reader saw the connection die
 	accesses   atomic.Uint64 // executed so far
 	stateBytes atomic.Uint64 // profiler state after the last batch
+
+	// Continuous-profiling state, owned by the stepping worker except
+	// for the atomics /metrics reads. watchEvery > 0 subscribes the
+	// session: a FrameSnapshotPush goes out every watchEvery executed
+	// batches, and each pushed snapshot is also folded into winCol, the
+	// server-side window collector behind the drift counter and the
+	// working-set alert. The subscription survives reconnects only
+	// because resuming clients re-send FrameWatch (it is connection
+	// state on the client, session state here once set).
+	watchEvery int
+	winCol     *window.Collector
+	windowWS   atomic.Uint64 // latest window's working-set bytes
+	wsAlert    atomic.Bool   // working set exceeded Config.AlertWorkingSetBytes
 }
 
 // migrateOrder asks a session's runner to hand the session to one of
@@ -78,6 +92,7 @@ const (
 	itemSync
 	itemFinish
 	itemFail
+	itemWatch
 )
 
 // mustJSON marshals a value the server constructed itself; failure is a

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mrc"
+	"repro/internal/report"
 	"repro/internal/wire"
 )
 
@@ -45,6 +46,9 @@ type whatIfRequest struct {
 // which batch sequence the profile state covers and whether it came
 // from a finished session's final result.
 type whatIfResponse struct {
+	// Schema versions the response envelope, shared with `rdx -json`
+	// reports and `rdx diff` (see internal/report).
+	Schema   string      `json:"schema"`
 	Token    string      `json:"token"`
 	Seq      uint64      `json:"seq"`
 	Final    bool        `json:"final"`
@@ -112,18 +116,19 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 			}}
 		}
 	}
-	report, err := res.WhatIf(base, req.Spec, req.Sweep)
+	rep, err := res.WhatIf(base, req.Spec, req.Sweep)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(mustJSON(whatIfResponse{
+		Schema:   report.SchemaVersion,
 		Token:    req.Token,
 		Seq:      seq,
 		Final:    final,
 		Accesses: res.Accesses,
-		Report:   report,
+		Report:   rep,
 	}))
 }
 

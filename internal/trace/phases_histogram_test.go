@@ -1,0 +1,127 @@
+// Exact-oracle tests for the phased generators: what the drift
+// detector consumes is per-phase locality, so the phases must actually
+// produce distinguishable reuse-distance histograms — and reproducible
+// ones, since experiments and CI gates rely on seeded determinism.
+// External test package: the oracle imports trace.
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/histogram"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// measure runs the exhaustive oracle over a stream.
+func measure(t *testing.T, r trace.Reader) *exact.Profiler {
+	t.Helper()
+	p, err := exact.Measure(r, mem.WordGranularity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestMarkovPhasesDistinguishableHistograms: a two-phase workload whose
+// phases differ in working set must yield (a) per-phase histograms that
+// are far apart, and (b) a composite histogram distinct from either
+// pure phase — the composite carries both phases' reuse mass.
+func TestMarkovPhasesDistinguishableHistograms(t *testing.T) {
+	const n = 200_000
+	small := func() trace.Reader { return trace.Cyclic(0, 16, 1<<30) }
+	large := func() trace.Reader { return trace.Cyclic(1<<40, 4096, 1<<30) }
+
+	pure := func(f func() trace.Reader) *histogram.Histogram {
+		return measure(t, trace.Limit(f(), n)).ReuseDistance()
+	}
+	smallH := pure(small)
+	largeH := pure(large)
+	if acc := histogram.Accuracy(smallH, largeH); acc > 0.2 {
+		t.Fatalf("pure phases overlap: accuracy %.3f, want <= 0.2", acc)
+	}
+
+	phases := []trace.MarkovPhase{
+		{Name: "small", New: small, Dwell: 20_000},
+		{Name: "large", New: large, Dwell: 20_000},
+	}
+	trans := [][]float64{{0, 1}, {1, 0}}
+	mixedH := measure(t, trace.MarkovPhases(7, phases, trans, n)).ReuseDistance()
+
+	// The mix sits between the pure phases: closer to each than they
+	// are to each other, but identical to neither.
+	smallAcc := histogram.Accuracy(mixedH, smallH)
+	largeAcc := histogram.Accuracy(mixedH, largeH)
+	pureAcc := histogram.Accuracy(smallH, largeH)
+	if smallAcc <= pureAcc || largeAcc <= pureAcc {
+		t.Errorf("mixed histogram not between phases: vs small %.3f, vs large %.3f, small vs large %.3f",
+			smallAcc, largeAcc, pureAcc)
+	}
+	if smallAcc > 0.9 || largeAcc > 0.9 {
+		t.Errorf("mixed histogram collapsed onto one phase: vs small %.3f, vs large %.3f", smallAcc, largeAcc)
+	}
+}
+
+// TestMarkovPhasesSeededDeterminism: the same seed replays the same
+// composite stream (histograms bit-equal via Accuracy == 1), different
+// seeds reorder the phase schedule.
+func TestMarkovPhasesSeededDeterminism(t *testing.T) {
+	build := func(seed uint64) trace.Reader {
+		phases := []trace.MarkovPhase{
+			{Name: "a", New: func() trace.Reader { return trace.ZipfAccess(9, 0, 1<<10, 1.0, 1<<30) }, Dwell: 5_000},
+			{Name: "b", New: func() trace.Reader { return trace.RandomUniform(9, 1<<40, 1<<12, 1<<30) }, Dwell: 5_000},
+		}
+		trans := [][]float64{{0.2, 0.8}, {0.8, 0.2}}
+		return trace.MarkovPhases(seed, phases, trans, 60_000)
+	}
+	a1, err := trace.Collect(build(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := trace.Collect(build(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed diverges at access %d: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+	b, err := trace.Collect(build(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range min(len(a1), len(b)) {
+		if a1[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a1) {
+		t.Error("different seeds produced an identical stream")
+	}
+}
+
+// TestSpatialClusterTighterThanRandom: the clustered generator's whole
+// point is spatial locality — at line granularity its reuse distances
+// must be far shorter than a uniform scan over the same footprint.
+func TestSpatialClusterTighterThanRandom(t *testing.T) {
+	const n = 100_000
+	const objects, objSize = 1 << 10, 8
+	clustered, err := exact.Measure(trace.SpatialCluster(3, 0, objects, objSize, 16, n), mem.LineGranularity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := exact.Measure(trace.RandomUniform(3, 0, objects*objSize, n), mem.LineGranularity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, rm := clustered.ReuseDistance().Mean(), random.ReuseDistance().Mean()
+	if cm*4 > rm {
+		t.Errorf("clustered mean line reuse distance %.1f not well under random %.1f", cm, rm)
+	}
+}

@@ -1,0 +1,99 @@
+package window
+
+import (
+	"math"
+
+	"repro/internal/histogram"
+)
+
+// Drift scoring compares consecutive windows on two orthogonal locality
+// signals and flags a phase change when either moves decisively:
+//
+//   - Distance: total-variation distance between the windows'
+//     normalized reuse-distance histograms (1 − histogram.Accuracy).
+//     Catches shape changes — a cyclic phase giving way to a random
+//     scan reshapes the histogram even when the working set holds.
+//   - WSShift: |log2| of the working-set ratio. Catches magnitude
+//     changes — the MRC-relevant signal ("the working set grew past
+//     L3") even when the histogram shape stays self-similar.
+//
+// Windows with too few samples are not scored: a near-empty window's
+// histogram is a handful of spikes, and comparing spikes to spikes
+// reads as maximal distance. Skipping them trades detection latency
+// (one window) for a zero false-positive floor, which is the side the
+// check.sh gate cares about.
+
+// DriftOptions tunes the detector. The zero value selects the
+// defaults, which the rdexper DRIFT experiment gates in CI: every
+// injected phase change flagged, zero false positives on the
+// stationary control.
+type DriftOptions struct {
+	// MinSamples is the evidence floor: windows with fewer samples on
+	// either side are not scored. Default 64.
+	MinSamples uint64
+	// MaxDistance is the total-variation threshold in [0,1] above
+	// which a shape change counts as drift. Default 0.40.
+	MaxDistance float64
+	// MaxWSShift is the |log2 working-set ratio| threshold above which
+	// a magnitude change counts as drift — 1.0 means "the working set
+	// doubled or halved". Default 1.5: the working-set estimate is a
+	// quantile of a power-of-two-bucketed histogram, so under sampling
+	// jitter it flips by exactly one bucket (|shift| 1.0) even on a
+	// stationary workload; requiring more than a bucket of movement
+	// keeps quantization noise below the threshold.
+	MaxWSShift float64
+}
+
+func (o *DriftOptions) fill() {
+	if o.MinSamples == 0 {
+		o.MinSamples = 64
+	}
+	if o.MaxDistance == 0 {
+		o.MaxDistance = 0.40
+	}
+	if o.MaxWSShift == 0 {
+		o.MaxWSShift = 1.5
+	}
+}
+
+// Score is the drift verdict for one window against its predecessor.
+type Score struct {
+	// Distance is the total-variation distance between the two
+	// windows' normalized reuse-distance histograms, in [0,1].
+	Distance float64 `json:"distance"`
+	// WSShift is log2(cur working set / prev working set); positive
+	// means growth. Zero when either window has no reuse working set.
+	WSShift float64 `json:"ws_shift"`
+	// Scored reports whether both windows met the evidence floor; an
+	// unscored window never drifts.
+	Scored bool `json:"scored"`
+	// Drift is the verdict: a scored window whose Distance or WSShift
+	// crossed its threshold.
+	Drift bool `json:"drift"`
+}
+
+// Score compares cur against prev under the options' thresholds.
+func (o DriftOptions) Score(prev, cur *Window) Score {
+	o.fill()
+	var s Score
+	if prev == nil || cur == nil {
+		return s
+	}
+	if prev.Samples < o.MinSamples || cur.Samples < o.MinSamples {
+		return s
+	}
+	s.Scored = true
+	s.Distance = distance(prev.ReuseDistance, cur.ReuseDistance)
+	if prev.WorkingSetBytes > 0 && cur.WorkingSetBytes > 0 {
+		s.WSShift = math.Log2(float64(cur.WorkingSetBytes) / float64(prev.WorkingSetBytes))
+	}
+	s.Drift = s.Distance >= o.MaxDistance || math.Abs(s.WSShift) >= o.MaxWSShift
+	return s
+}
+
+// distance is the total-variation distance between two histograms'
+// normalized shapes — the complement of the paper's accuracy metric.
+// 0 means identical shapes, 1 disjoint support.
+func distance(a, b *histogram.Histogram) float64 {
+	return 1 - histogram.Accuracy(a, b)
+}

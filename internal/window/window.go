@@ -1,0 +1,216 @@
+// Package window turns a stream of cumulative profiling snapshots into
+// time/access-windowed locality histograms: the delta between two
+// consecutive snapshots is the reuse activity of the interval between
+// them. A Collector keeps a bounded ring of recent windows alongside
+// whatever lifetime aggregate the caller already maintains — it never
+// touches the profiler or the merge path, so lifetime results stay
+// bit-identical to an unwindowed run by construction.
+//
+// The windowing rests on the same composition property the merge path
+// uses (Yuan et al.'s measurement theory): locality histograms are
+// additive over disjoint access intervals, so the per-bucket difference
+// of two cumulative histograms is the histogram of the interval
+// between them. One caveat: the profiler normalizes each cumulative
+// snapshot so total weight equals the access count, and the
+// normalization factor drifts slightly as censored mass is
+// redistributed — a bucket can therefore lose a sliver of weight
+// between snapshots. Deltas clamp at zero; drift scoring compares
+// normalized shapes, so the sliver is noise, not signal.
+package window
+
+import (
+	"repro/internal/histogram"
+)
+
+// DefaultRing is how many recent windows a Collector retains when the
+// caller does not say otherwise.
+const DefaultRing = 16
+
+// workingSetFraction is the reuse mass a window's working set must
+// cover: the smallest reuse distance below which 90% of the window's
+// observed finite reuses fall. The remaining tail is dominated by
+// censored and cold mass, which would otherwise let a handful of
+// one-off long reuses masquerade as working-set growth.
+const workingSetFraction = 0.90
+
+// Window is one closed observation interval: the locality activity
+// between two consecutive cumulative snapshots.
+type Window struct {
+	// Index numbers windows from 0 in observation order.
+	Index int
+	// StartAccesses and EndAccesses bound the interval in accesses of
+	// the profiled stream; the window covers (Start, End].
+	StartAccesses uint64
+	EndAccesses   uint64
+	// Samples is how many PMU samples landed inside the window. Windows
+	// with few samples carry little evidence; drift scoring skips them
+	// (see DriftOptions.MinSamples).
+	Samples uint64
+	// ReuseDistance and ReuseTime hold the interval's activity: the
+	// clamped per-bucket difference of the bounding cumulative
+	// histograms.
+	ReuseDistance *histogram.Histogram
+	ReuseTime     *histogram.Histogram
+	// WorkingSetBytes estimates the window's working set: the smallest
+	// power-of-two block count covering workingSetFraction of the
+	// window's finite reuse mass, times the block size.
+	WorkingSetBytes uint64
+	// Score holds the drift score against the previous window; nil for
+	// the first window (nothing to compare against).
+	Score *Score
+}
+
+// Collector folds cumulative snapshots into a ring of recent windows.
+// It is not safe for concurrent use; callers observe from the goroutine
+// driving the profile, exactly as they would call Snapshot.
+type Collector struct {
+	blockBytes uint64
+	drift      DriftOptions
+	ring       []*Window
+	ringCap    int
+
+	prevValid    bool
+	prevAccesses uint64
+	prevSamples  uint64
+	prevRD       *histogram.Histogram
+	prevRT       *histogram.Histogram
+
+	produced int
+	drifts   int
+}
+
+// NewCollector builds a collector. blockBytes scales working-set block
+// counts to bytes (use Result.BlockBytes(), or 8 for word granularity);
+// ring bounds how many windows are retained, 0 selecting DefaultRing.
+func NewCollector(blockBytes uint64, ring int, drift DriftOptions) *Collector {
+	if blockBytes == 0 {
+		blockBytes = 8
+	}
+	if ring <= 0 {
+		ring = DefaultRing
+	}
+	drift.fill()
+	return &Collector{blockBytes: blockBytes, drift: drift, ringCap: ring}
+}
+
+// Observe closes a window at a cumulative snapshot: accesses and
+// samples are the snapshot's running totals, rd and rt its cumulative
+// histograms (which Observe clones; the caller keeps ownership). The
+// first Observe windows from the start of the profile. Returns the
+// closed window, which is also appended to the ring.
+func (c *Collector) Observe(accesses, samples uint64, rd, rt *histogram.Histogram) *Window {
+	w := &Window{
+		Index:         c.produced,
+		StartAccesses: c.prevAccesses,
+		EndAccesses:   accesses,
+		Samples:       monotoneDelta(samples, c.prevSamples),
+	}
+	if c.prevValid {
+		w.ReuseDistance = subtract(rd, c.prevRD)
+		w.ReuseTime = subtract(rt, c.prevRT)
+	} else {
+		w.ReuseDistance = rd.Clone()
+		w.ReuseTime = rt.Clone()
+	}
+	w.WorkingSetBytes = WorkingSetBytes(w.ReuseDistance, c.blockBytes)
+	if prev := c.Last(); prev != nil {
+		s := c.drift.Score(prev, w)
+		w.Score = &s
+		if s.Drift {
+			c.drifts++
+		}
+	}
+
+	c.prevValid = true
+	c.prevAccesses = accesses
+	c.prevSamples = samples
+	c.prevRD = rd.Clone()
+	c.prevRT = rt.Clone()
+
+	c.ring = append(c.ring, w)
+	if len(c.ring) > c.ringCap {
+		copy(c.ring, c.ring[1:])
+		c.ring[len(c.ring)-1] = nil
+		c.ring = c.ring[:len(c.ring)-1]
+	}
+	c.produced++
+	return w
+}
+
+// Windows returns the retained ring, oldest first. The slice is a copy;
+// the windows themselves are shared and must not be mutated.
+func (c *Collector) Windows() []*Window {
+	return append([]*Window(nil), c.ring...)
+}
+
+// Last returns the most recently closed window, or nil before the
+// first Observe.
+func (c *Collector) Last() *Window {
+	if len(c.ring) == 0 {
+		return nil
+	}
+	return c.ring[len(c.ring)-1]
+}
+
+// Produced reports how many windows have been closed in total,
+// including ones the ring has since evicted.
+func (c *Collector) Produced() int { return c.produced }
+
+// Drifts reports how many windows scored as drift.
+func (c *Collector) Drifts() int { return c.drifts }
+
+// subtract returns the per-bucket difference cur − prev, clamped at
+// zero (cumulative snapshots are renormalized between observations, so
+// a bucket can shed a sliver of weight; see the package comment).
+func subtract(cur, prev *histogram.Histogram) *histogram.Histogram {
+	n := cur.NumBuckets()
+	if pn := prev.NumBuckets(); pn > n {
+		n = pn
+	}
+	buckets := make([]float64, n)
+	for b := 0; b < n; b++ {
+		if d := cur.Weight(b) - prev.Weight(b); d > 0 {
+			buckets[b] = d
+		}
+	}
+	cold := cur.Cold() - prev.Cold()
+	if cold < 0 {
+		cold = 0
+	}
+	return histogram.Assemble(buckets, cold, monotoneDelta(cur.Count(), prev.Count()))
+}
+
+// monotoneDelta is a − b clamped at zero for counters that should be
+// monotone but are not worth crashing over if they ever are not.
+func monotoneDelta(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// WorkingSetBlocks estimates a histogram's working set in blocks: the
+// upper bound of the lowest bucket prefix holding workingSetFraction of
+// the finite reuse mass. Returns 0 when the histogram has no finite
+// mass (a window of pure cold misses has no reuse working set to
+// speak of).
+func WorkingSetBlocks(rd *histogram.Histogram) uint64 {
+	finite := rd.TotalFinite()
+	if finite <= 0 {
+		return 0
+	}
+	target := workingSetFraction * finite
+	acc := 0.0
+	for b := 0; b < rd.NumBuckets(); b++ {
+		acc += rd.Weight(b)
+		if acc >= target {
+			return histogram.BucketHigh(b) + 1
+		}
+	}
+	return histogram.BucketHigh(rd.NumBuckets()-1) + 1
+}
+
+// WorkingSetBytes is WorkingSetBlocks scaled by the block size.
+func WorkingSetBytes(rd *histogram.Histogram, blockBytes uint64) uint64 {
+	return WorkingSetBlocks(rd) * blockBytes
+}

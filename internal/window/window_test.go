@@ -1,0 +1,175 @@
+package window
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/histogram"
+)
+
+// cum builds a cumulative histogram from (value, weight) pairs.
+func cum(count uint64, pairs ...float64) *histogram.Histogram {
+	h := histogram.New()
+	for i := 0; i+1 < len(pairs); i += 2 {
+		h.Add(uint64(pairs[i]), pairs[i+1])
+	}
+	// Fake the observation count: Assemble round-trip.
+	buckets := make([]float64, h.NumBuckets())
+	for b := range buckets {
+		buckets[b] = h.Weight(b)
+	}
+	return histogram.Assemble(buckets, h.Cold(), count)
+}
+
+func TestCollectorWindowsAreSnapshotDeltas(t *testing.T) {
+	c := NewCollector(8, 4, DriftOptions{})
+
+	// First snapshot: 10 units of weight at distance 4.
+	h1 := cum(100, 4, 10)
+	w1 := c.Observe(1000, 100, h1, h1.Clone())
+	if w1.Index != 0 || w1.StartAccesses != 0 || w1.EndAccesses != 1000 {
+		t.Fatalf("first window bounds: %+v", w1)
+	}
+	if got := w1.ReuseDistance.Total(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("first window total = %v, want 10", got)
+	}
+
+	// Second snapshot adds 6 units at distance 1024 and 2 cold.
+	h2 := h1.Clone()
+	h2.Add(1024, 6)
+	buckets := make([]float64, h2.NumBuckets())
+	for b := range buckets {
+		buckets[b] = h2.Weight(b)
+	}
+	h2 = histogram.Assemble(buckets, 2, 250)
+	w2 := c.Observe(2000, 250, h2, h2.Clone())
+	if w2.StartAccesses != 1000 || w2.EndAccesses != 2000 {
+		t.Fatalf("second window bounds: %+v", w2)
+	}
+	if got := w2.ReuseDistance.TotalFinite(); math.Abs(got-6) > 1e-9 {
+		t.Errorf("second window finite mass = %v, want 6", got)
+	}
+	if got := w2.ReuseDistance.Cold(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("second window cold mass = %v, want 2", got)
+	}
+	if got := w2.Samples; got != 150 {
+		t.Errorf("second window samples = %d, want 150", got)
+	}
+	// All the second window's finite mass sits at distance 1024.
+	want := WorkingSetBytes(w2.ReuseDistance, 8)
+	if want == 0 || w2.WorkingSetBytes != want || want <= 1024*8 {
+		t.Errorf("second window working set = %d bytes (helper says %d)", w2.WorkingSetBytes, want)
+	}
+}
+
+func TestCollectorClampsRenormalizationSlivers(t *testing.T) {
+	c := NewCollector(8, 4, DriftOptions{})
+	h1 := cum(100, 4, 10)
+	c.Observe(1000, 100, h1, h1.Clone())
+	// The next cumulative snapshot lost a sliver of weight in the
+	// distance-4 bucket (renormalization), gained elsewhere.
+	h2 := cum(140, 4, 9.5, 64, 5)
+	w := c.Observe(2000, 140, h2, h2.Clone())
+	for b := 0; b < w.ReuseDistance.NumBuckets(); b++ {
+		if w.ReuseDistance.Weight(b) < 0 {
+			t.Fatalf("bucket %d went negative: %v", b, w.ReuseDistance.Weight(b))
+		}
+	}
+	if got := w.ReuseDistance.TotalFinite(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("window finite mass = %v, want 5 (sliver clamped)", got)
+	}
+}
+
+func TestCollectorRingEviction(t *testing.T) {
+	c := NewCollector(8, 3, DriftOptions{})
+	for i := 1; i <= 5; i++ {
+		h := cum(uint64(i*100), 4, float64(i*10))
+		c.Observe(uint64(i*1000), uint64(i*100), h, h.Clone())
+	}
+	ws := c.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("ring holds %d windows, want 3", len(ws))
+	}
+	if ws[0].Index != 2 || ws[2].Index != 4 {
+		t.Errorf("ring indices = [%d..%d], want [2..4]", ws[0].Index, ws[2].Index)
+	}
+	if c.Produced() != 5 {
+		t.Errorf("produced = %d, want 5", c.Produced())
+	}
+	if c.Last() != ws[2] {
+		t.Error("Last is not the newest ring entry")
+	}
+}
+
+func TestWorkingSetBlocks(t *testing.T) {
+	h := histogram.New()
+	h.Add(60, 90) // 90% of finite mass within distance 60
+	h.Add(1<<20, 10)
+	blocks := WorkingSetBlocks(h)
+	if blocks < 61 || blocks > 128 {
+		t.Errorf("working set = %d blocks, want in (60, 128]", blocks)
+	}
+	if WorkingSetBlocks(histogram.New()) != 0 {
+		t.Error("empty histogram should have zero working set")
+	}
+	cold := histogram.Assemble(nil, 42, 42)
+	if WorkingSetBlocks(cold) != 0 {
+		t.Error("pure-cold histogram should have zero working set")
+	}
+}
+
+func win(samples uint64, pairs ...float64) *Window {
+	h := histogram.New()
+	for i := 0; i+1 < len(pairs); i += 2 {
+		h.Add(uint64(pairs[i]), pairs[i+1])
+	}
+	return &Window{
+		Samples:         samples,
+		ReuseDistance:   h,
+		ReuseTime:       h.Clone(),
+		WorkingSetBytes: WorkingSetBytes(h, 8),
+	}
+}
+
+func TestDriftScore(t *testing.T) {
+	var o DriftOptions
+
+	same := o.Score(win(1000, 8, 50, 64, 50), win(1000, 8, 50, 64, 50))
+	if !same.Scored || same.Drift || same.Distance > 1e-9 {
+		t.Errorf("identical windows: %+v", same)
+	}
+
+	shape := o.Score(win(1000, 4, 100), win(1000, 1<<16, 100))
+	if !shape.Drift || shape.Distance < 0.9 {
+		t.Errorf("disjoint shapes should drift: %+v", shape)
+	}
+	if math.Abs(shape.WSShift) < 1 {
+		t.Errorf("working-set shift should register: %+v", shape)
+	}
+
+	starved := o.Score(win(3, 4, 1), win(3, 1<<16, 1))
+	if starved.Scored || starved.Drift {
+		t.Errorf("under-sampled windows must not score: %+v", starved)
+	}
+
+	if s := o.Score(nil, win(1000, 4, 1)); s.Scored || s.Drift {
+		t.Errorf("nil predecessor must not score: %+v", s)
+	}
+}
+
+func TestCollectorCountsDrifts(t *testing.T) {
+	c := NewCollector(8, 8, DriftOptions{})
+	// Two stationary windows, then a phase change.
+	h1 := cum(1000, 8, 100)
+	c.Observe(1000, 1000, h1, h1.Clone())
+	h2 := cum(2000, 8, 200)
+	c.Observe(2000, 2000, h2, h2.Clone())
+	h3 := cum(3000, 8, 200, 1<<18, 300)
+	w := c.Observe(3000, 3000, h3, h3.Clone())
+	if w.Score == nil || !w.Score.Drift {
+		t.Fatalf("phase change not flagged: %+v", w.Score)
+	}
+	if c.Drifts() != 1 {
+		t.Errorf("drifts = %d, want 1", c.Drifts())
+	}
+}

@@ -43,8 +43,17 @@ type Client struct {
 	// Close).
 	cols    *trace.Columns
 	maxWire int // highest wire version to offer (0 = latest)
-	wire    int // negotiated wire version (valid once opened)
-	opened  bool
+	// mu guards wire. The negotiated version is written by open — which
+	// a ReconnectingClient re-runs during reconnect renegotiation (a v3
+	// session can come back v2 when policy caps differ) — and read on
+	// the replay re-encode path and by WireVersion; without the lock a
+	// Snapshot observer racing a renegotiation could see a torn read.
+	mu     sync.Mutex
+	wire   int // negotiated wire version (valid once opened)
+	opened bool
+	// onPush receives subscribed snapshot pushes that arrive interleaved
+	// ahead of a pending reply (see expect); set via OnPush.
+	onPush func(*Push)
 	done    bool
 	closed  bool // Close ran; the pooled buffers are gone
 	reply   OpenReply
@@ -119,7 +128,11 @@ func (c *Client) SetMaxWireVersion(v int) {
 }
 
 // WireVersion reports the wire version negotiated at open (0 before).
-func (c *Client) WireVersion() int { return c.wire }
+func (c *Client) WireVersion() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wire
+}
 
 func (c *Client) offerWire() int {
 	if c.maxWire == 0 {
@@ -145,13 +158,16 @@ func (c *Client) open(req OpenRequest) (OpenReply, error) {
 	if err != nil {
 		return OpenReply{}, fmt.Errorf("wire: decoding open reply: %w", err)
 	}
-	c.wire = c.reply.Wire
-	if c.wire == 0 {
-		c.wire = WireV2 // pre-negotiation server: original framing
+	wire := c.reply.Wire
+	if wire == 0 {
+		wire = WireV2 // pre-negotiation server: original framing
 	}
-	if c.wire < WireV2 || c.wire > c.offerWire() {
+	if wire < WireV2 || wire > c.offerWire() {
 		return OpenReply{}, fmt.Errorf("wire: server chose version %d, client offered up to %d", c.reply.Wire, c.offerWire())
 	}
+	c.mu.Lock()
+	c.wire = wire
+	c.mu.Unlock()
 	c.opened = true
 	c.nextSeq = c.reply.ResumeSeq + 1
 	return c.reply, nil
@@ -178,7 +194,7 @@ func (c *Client) SendBatch(accs []mem.Access) error {
 	ft := FrameBatch
 	var payload []byte
 	var err error
-	if c.wire >= WireV3 {
+	if c.WireVersion() >= WireV3 {
 		ft = FrameBatchV3
 		payload, err = c.encodeColumns(c.nextSeq, accs)
 	} else {
@@ -277,6 +293,13 @@ type ProfileOptions struct {
 	BatchSize int
 	// SnapshotEvery requests a live snapshot every that many batches
 	// (0 = never) and passes it to OnSnapshot.
+	//
+	// Deprecated: this is the poll-style observation surface. New code
+	// subscribes with Watch/ReadPush (or rdx.Session.Watch), which
+	// streams the same snapshots server-initiated. The polling path is
+	// kept bit-identical: a poll after batch N and a push covering
+	// batch N return the same result, which the differential tests
+	// hold.
 	SnapshotEvery int
 	OnSnapshot    func(*Result)
 	// MaxWireVersion caps the wire version offered at open (0 = latest).
@@ -390,11 +413,14 @@ func (c *Client) send(t FrameType, payload []byte) error {
 	return c.bw.Flush()
 }
 
-// expect reads the next server frame, converting FrameError into an
-// ErrRemote-wrapped error and FrameRetryAfter into a *RetryAfterError.
-// The payload comes from the pooled buffers: on success it belongs to
-// the caller, who must release it with PutPayload once decoded; on
-// error expect releases it itself.
+// expect reads server frames until the wanted one arrives, converting
+// FrameError into an ErrRemote-wrapped error and FrameRetryAfter into
+// a *RetryAfterError. Subscribed snapshot pushes may interleave ahead
+// of any pending reply (the one sanctioned departure from strict
+// request-order framing); expect hands each to the OnPush callback and
+// keeps reading. The payload comes from the pooled buffers: on success
+// it belongs to the caller, who must release it with PutPayload once
+// decoded; on error expect releases it itself.
 func (c *Client) expect(want FrameType) ([]byte, error) {
 	if c.closed {
 		return nil, fmt.Errorf("wire: client is closed")
@@ -405,6 +431,17 @@ func (c *Client) expect(want FrameType) ([]byte, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if t == FrameSnapshotPush && want != FrameSnapshotPush {
+		p, err := decodePush(payload)
+		PutPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		if c.onPush != nil {
+			c.onPush(p)
+		}
+		return c.expect(want)
 	}
 	if t == FrameError {
 		err := fmt.Errorf("%w: %s", ErrRemote, payload)

@@ -80,6 +80,9 @@ type ReconnectStats struct {
 	// Moves counts migration redirects followed: the session was handed
 	// to another backend and this client resumed it there.
 	Moves uint64
+	// Pushes counts subscribed snapshot pushes delivered (replayed
+	// duplicates dropped by sequence number are not counted).
+	Pushes uint64
 }
 
 // pendingBatch is one unacknowledged batch held for replay.
@@ -113,6 +116,15 @@ type ReconnectingClient struct {
 	connected bool // a connection has succeeded at least once
 	finished  bool
 	moves     int // moved redirects followed since the last successful op
+
+	// Watch subscription state. The subscription itself is connection
+	// state (each reconnect re-subscribes in ensure); the sequence
+	// bookkeeping is session state, so replayed pushes dedup across
+	// connections.
+	watchEvery  int
+	onPush      func(*Push)
+	lastPushSeq uint64
+	lastPush    *Push
 
 	stats ReconnectStats
 }
@@ -313,6 +325,112 @@ func (r *ReconnectingClient) Profile(ctx context.Context, tr trace.Reader, opts 
 	return r.Finish(ctx)
 }
 
+// Watch subscribes the session to pushed snapshots every everyBatches
+// executed batches (0 cancels). onPush, when non-nil, receives each
+// push as it drains off the connection — on the goroutine driving the
+// client, like every other callback. The subscription survives
+// reconnects: ensure re-subscribes each fresh connection, and pushes
+// re-emitted by idempotent replay are dropped by sequence number, so
+// the callback sees every boundary exactly once, in order.
+func (r *ReconnectingClient) Watch(ctx context.Context, everyBatches int, onPush func(*Push)) error {
+	if r.finished {
+		return fmt.Errorf("wire: session already finished")
+	}
+	if everyBatches < 0 {
+		return fmt.Errorf("wire: negative watch cadence %d", everyBatches)
+	}
+	r.watchEvery = everyBatches
+	r.onPush = onPush
+	return r.withRetry(ctx, func(c *Client) error {
+		c.OnPush(r.notePush)
+		return c.Watch(everyBatches)
+	})
+}
+
+// WatchSnapshot returns the subscribed snapshot covering batch seq —
+// normally the push the server emitted when it executed that batch.
+// The caller must be paced: batch seq sent, nothing beyond it. That
+// pacing is what makes the boundary fault-proof. If the push is lost
+// with its connection, the resumed session either re-executes the
+// boundary batch from replay (the push fires again, bit-identical
+// because profiling is deterministic) or already sits exactly at seq
+// (the replay was discarded as idempotent), in which case a plain
+// snapshot poll returns the state the push carried.
+func (r *ReconnectingClient) WatchSnapshot(ctx context.Context, seq uint64) (*Result, error) {
+	if r.watchEvery <= 0 {
+		return nil, fmt.Errorf("wire: WatchSnapshot without a watch subscription")
+	}
+	if r.nextSeq <= seq {
+		return nil, fmt.Errorf("wire: WatchSnapshot(%d) before batch %d was sent", seq, seq)
+	}
+	if r.lastPushSeq > seq {
+		return nil, fmt.Errorf("wire: watch boundary %d already superseded by push %d", seq, r.lastPushSeq)
+	}
+	var res *Result
+	err := r.withRetry(ctx, func(c *Client) error {
+		for {
+			// The boundary may already have drained as a side effect of
+			// another read (an auto-sync ack, a replay) via notePush.
+			if p := r.lastPush; p != nil && p.Seq == seq {
+				res = p.Result
+				return nil
+			}
+			// If this connection resumed at or past the boundary, its
+			// replay discarded the boundary batch and no push for it
+			// will ever arrive here; the session sits exactly at seq
+			// (the caller sent nothing beyond it), so a poll recovers
+			// the identical snapshot.
+			if r.reply.ResumeSeq >= seq {
+				s, err := c.Snapshot()
+				if err != nil {
+					return err
+				}
+				res = s
+				return nil
+			}
+			p, err := c.ReadPush()
+			if err != nil {
+				return err
+			}
+			r.notePush(p)
+			if p.Seq > seq {
+				return fmt.Errorf("wire: watch pushed boundary %d past awaited %d", p.Seq, seq)
+			}
+		}
+	})
+	return res, err
+}
+
+// resubscribe re-arms the watch subscription on a fresh connection,
+// dropping the connection on failure (the caller's retry loop handles
+// it like any other open-time fault).
+func (r *ReconnectingClient) resubscribe(ctx context.Context, c *Client) error {
+	if r.watchEvery <= 0 {
+		return nil
+	}
+	c.OnPush(r.notePush)
+	r.armDeadline(ctx)
+	if err := c.Watch(r.watchEvery); err != nil {
+		r.dropConn()
+		return r.checkCtx(ctx, err)
+	}
+	return nil
+}
+
+// notePush records one drained push, dropping replayed duplicates by
+// sequence number, and forwards fresh ones to the Watch callback.
+func (r *ReconnectingClient) notePush(p *Push) {
+	if p.Seq <= r.lastPushSeq {
+		return
+	}
+	r.lastPushSeq = p.Seq
+	r.lastPush = p
+	r.stats.Pushes++
+	if r.onPush != nil {
+		r.onPush(p)
+	}
+}
+
 // maxConsecutiveMoves bounds moved redirects followed without an
 // intervening successful operation: legitimate migration chains are
 // short, and under injected corruption a mangled moved frame must not
@@ -417,6 +535,9 @@ func (r *ReconnectingClient) ensure(ctx context.Context) (*Client, error) {
 		r.reply = reply
 		r.token = reply.Token
 		r.connected = true
+		if err := r.resubscribe(ctx, c); err != nil {
+			return nil, err
+		}
 		return c, nil
 	}
 
@@ -435,6 +556,12 @@ func (r *ReconnectingClient) ensure(ctx context.Context) (*Client, error) {
 		// The session finished server-side; nothing to replay, the
 		// retried Finish will fetch the retained result.
 		return c, nil
+	}
+	// Re-subscribe before replaying: a replayed batch that re-crosses a
+	// watch boundary must push again, or a snapshot lost with the old
+	// connection would be gone for good.
+	if err := r.resubscribe(ctx, c); err != nil {
+		return nil, err
 	}
 	for _, p := range r.pending {
 		if c.NextSeq() != p.seq {

@@ -22,11 +22,19 @@
 //
 // Frames never interleave within one direction of a connection. The
 // client speaks first (FrameOpen); the server replies to each
-// result-bearing request (FrameSnapshot, FrameFinish, FrameSync) in
-// request order, so the client can match replies without ids.
-// FrameError may replace any reply and is terminal for the session;
-// FrameRetryAfter may replace the open reply and asks the client to
-// come back later.
+// result-bearing request (FrameSnapshot, FrameFinish, FrameSync,
+// FrameWatch) in request order, so the client can match replies
+// without ids. FrameError may replace any reply and is terminal for
+// the session; FrameRetryAfter may replace the open reply and asks the
+// client to come back later.
+//
+// One frame type relaxes the request-reply shape: after a FrameWatch
+// subscription, the server emits FrameSnapshotPush frames on its own
+// initiative, at batch-cadence boundaries. A push may therefore arrive
+// where the client awaits a pending reply; pushes carry their own
+// sequence numbers and the client skips past them (delivering each to
+// the watch callback) until the awaited reply arrives. Replies
+// themselves still never reorder.
 //
 // # Batch payloads
 //
@@ -88,6 +96,14 @@ const (
 	// in place of FrameOpen; the receiver installs the state durably
 	// and answers FrameHandoffOK. Payload: see EncodeHandoff.
 	FrameHandoff FrameType = 0x07
+	// FrameWatch (client→server) subscribes the session to pushed
+	// snapshots: the server emits a FrameSnapshotPush after every
+	// WatchRequest.EveryBatches executed batches; payload WatchRequest
+	// (JSON). The reply is FrameWatchOK. A second FrameWatch replaces
+	// the cadence; EveryBatches 0 cancels the subscription. The
+	// subscription is connection state, not session state: a resumed
+	// session re-subscribes.
+	FrameWatch FrameType = 0x08
 
 	// FrameOpenOK (server→client) acknowledges FrameOpen; payload
 	// OpenReply.
@@ -116,6 +132,16 @@ const (
 	// transferred session state is installed durably and a client
 	// resuming by token will find it; empty payload.
 	FrameHandoffOK FrameType = 0x17
+	// FrameWatchOK (server→client) acknowledges FrameWatch: the
+	// subscription (or cancellation) is in effect for every batch the
+	// session executes after it; empty payload.
+	FrameWatchOK FrameType = 0x18
+	// FrameSnapshotPush (server→client) is a server-initiated live
+	// snapshot, emitted at the cadence a FrameWatch subscription
+	// requested; payload Push (JSON). Unlike every other server frame
+	// it is not a reply and may precede one — see the framing notes in
+	// the package comment.
+	FrameSnapshotPush FrameType = 0x19
 )
 
 // String names the frame type for diagnostics.
@@ -151,6 +177,12 @@ func (t FrameType) String() string {
 		return "moved"
 	case FrameHandoffOK:
 		return "handoff-ok"
+	case FrameWatch:
+		return "watch"
+	case FrameWatchOK:
+		return "watch-ok"
+	case FrameSnapshotPush:
+		return "snapshot-push"
 	default:
 		return fmt.Sprintf("FrameType(%#x)", uint8(t))
 	}

@@ -79,6 +79,32 @@ go run ./cmd/rdexper -n 1048576 -compress-check BENCH_server.json
 echo "==> MRC differential gate (curve and hierarchy vs simulation)"
 go run ./cmd/rdexper -n 524288 -period 1024 -exp MRC
 
+# Drift-detection gate: the DRIFT experiment injects three locality
+# shifts into a four-phase workload and fails unless every boundary is
+# flagged within the detector's latency budget, no stationary window is
+# flagged, and an equally long stationary control produces zero flags.
+# This covers the continuous-profiling path (windowed collector, drift
+# scoring) that Session.Watch and the rdxd alerts run on.
+echo "==> drift detection gate (injected phase changes, stationary control)"
+go run ./cmd/rdexper -exp DRIFT
+
+# Report diff smoke: a versioned rdx.report/v1 envelope diffed against
+# itself must classify as unchanged — exercises the -json schema,
+# report.Load, and the significance machinery end to end.
+echo "==> rdx diff self-diff smoke"
+rdx_report="$(mktemp /tmp/rdx-report-XXXXXX.json)"
+go run ./cmd/rdx -workload mcf -n 262144 -period 1024 -json > "$rdx_report"
+diff_out="$(go run ./cmd/rdx diff "$rdx_report" "$rdx_report")"
+echo "$diff_out"
+rm -f "$rdx_report"
+case "$diff_out" in
+*unchanged*) ;;
+*)
+    echo "check: rdx diff self-diff did not classify as unchanged" >&2
+    exit 1
+    ;;
+esac
+
 # Engine throughput gate: the two headline rows (batched engine,
 # sequential oracle) are re-measured at the operating point committed
 # in BENCH_engine.json and held against its recorded noise threshold

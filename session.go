@@ -53,6 +53,7 @@ type Session struct {
 	workers    int
 	poolOpts   PoolOptions
 	poolSet    bool
+	window     *WindowOptions
 	err        error
 }
 
@@ -173,7 +174,7 @@ func (s *Session) Profile(ctx context.Context, r Reader) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("rdx: remote profiling: %w", err)
 		}
-		return RemoteToResult(wres), nil
+		return wire.ToCore(wres), nil
 	default:
 		p, err := s.newPool()
 		if err != nil {
@@ -209,4 +210,10 @@ func (s *Session) ProfileThreads(ctx context.Context, streams []Reader) (*MultiR
 // Result — the inverse of ResultToRemote, so remotely produced profiles
 // are fully interchangeable with local ones (Footprint is rebuilt at
 // histogram resolution; everything else round-trips bit-identically).
+//
+// Deprecated: the Session API returns in-memory Results directly, and
+// serialized reports now travel in the versioned report.Schema envelope
+// (see `rdx -json` and `rdx diff`), so callers rarely hold a bare
+// RemoteResult anymore. The wrapper is kept bit-identical for the ones
+// that do.
 func RemoteToResult(res *RemoteResult) *Result { return wire.ToCore(res) }
